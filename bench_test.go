@@ -1,0 +1,190 @@
+// Package repro's benchmark harness regenerates every table and figure in
+// the paper's evaluation (run `go test -bench=. -benchmem`). Each
+// BenchmarkFigure*/BenchmarkTable* target executes the corresponding
+// harness experiment end-to-end on simulated drives and reports headline
+// metrics (fragments/object, MB/s) via b.ReportMetric; absolute wall time
+// is simulation cost, not storage performance — storage performance lives
+// in the reported metrics, which are in virtual (simulated disk) time.
+//
+// For full-scale paper-style runs use cmd/fragbench, e.g.:
+//
+//	go run ./cmd/fragbench -volume 40G fig6
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// benchConfig is sized so the whole -bench=. suite finishes in a couple
+// of minutes while still exhibiting every qualitative shape.
+func benchConfig() harness.Config {
+	return harness.Config{
+		VolumeBytes: 1 * units.GB,
+		Occupancy:   0.5,
+		MaxAge:      6,
+		AgeStep:     2,
+		ReadSamples: 100,
+		Seed:        1,
+	}
+}
+
+// runExperiment executes the experiment once per iteration and returns
+// the final run's tables.
+func runExperiment(b *testing.B, id string, cfg harness.Config) []*stats.Table {
+	b.Helper()
+	exp, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tables []*stats.Table
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err = exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// lastY reports series name's final y value from table t as metric.
+func lastY(b *testing.B, t *stats.Table, series, metric string) {
+	b.Helper()
+	for _, s := range t.Series {
+		if s.Name == series {
+			if p, ok := s.Last(); ok {
+				b.ReportMetric(p.Y, metric)
+			}
+			return
+		}
+	}
+}
+
+// yAt reports series name's y at x from table t as metric.
+func yAt(b *testing.B, t *stats.Table, series string, x float64, metric string) {
+	b.Helper()
+	for _, s := range t.Series {
+		if s.Name == series {
+			if y, ok := s.YAt(x); ok {
+				b.ReportMetric(y, metric)
+			}
+			return
+		}
+	}
+}
+
+// BenchmarkTable1Config regenerates the Table 1 system-configuration
+// report.
+func BenchmarkTable1Config(b *testing.B) {
+	runExperiment(b, "table1", benchConfig())
+}
+
+// BenchmarkFigure1ReadThroughput regenerates Figure 1: read throughput
+// for 256KB/512KB/1MB objects at storage ages 0, 2 and 4 on both
+// backends. Reported metrics are the age-4 (after four overwrites)
+// throughputs at 256KB.
+func BenchmarkFigure1ReadThroughput(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxAge = 4
+	tables := runExperiment(b, "fig1", cfg)
+	yAt(b, tables[0], "Database", 256, "db-bulk-MB/s")
+	yAt(b, tables[2], "Database", 256, "db-aged-MB/s")
+	yAt(b, tables[2], "Filesystem", 256, "fs-aged-MB/s")
+}
+
+// BenchmarkFigure2LargeObjectFrag regenerates Figure 2: long-term
+// fragmentation with 10MB objects. Metrics are fragments/object at the
+// deepest age.
+func BenchmarkFigure2LargeObjectFrag(b *testing.B) {
+	tables := runExperiment(b, "fig2", benchConfig())
+	lastY(b, tables[0], "Database", "db-frags/obj")
+	lastY(b, tables[0], "Filesystem", "fs-frags/obj")
+}
+
+// BenchmarkFigure3SmallObjectFrag regenerates Figure 3: long-term
+// fragmentation with 256KB objects (converging to ~1 fragment per 64KB
+// write request).
+func BenchmarkFigure3SmallObjectFrag(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxAge = 10
+	tables := runExperiment(b, "fig3", cfg)
+	lastY(b, tables[0], "Database", "db-frags/obj")
+	lastY(b, tables[0], "Filesystem", "fs-frags/obj")
+}
+
+// BenchmarkFigure4WriteThroughput regenerates Figure 4: 512KB write
+// throughput during bulk load and churn.
+func BenchmarkFigure4WriteThroughput(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxAge = 4
+	tables := runExperiment(b, "fig4", cfg)
+	yAt(b, tables[0], "Database", 0, "db-bulk-MB/s")
+	yAt(b, tables[0], "Filesystem", 0, "fs-bulk-MB/s")
+	yAt(b, tables[0], "Database", 4, "db-aged-MB/s")
+}
+
+// BenchmarkFigure5SizeDistributions regenerates Figure 5: constant vs
+// uniform object-size distributions on both backends.
+func BenchmarkFigure5SizeDistributions(b *testing.B) {
+	tables := runExperiment(b, "fig5", benchConfig())
+	lastY(b, tables[0], "Constant", "db-const-frags/obj")
+	lastY(b, tables[0], "Uniform", "db-unif-frags/obj")
+	lastY(b, tables[1], "Constant", "fs-const-frags/obj")
+	lastY(b, tables[1], "Uniform", "fs-unif-frags/obj")
+}
+
+// BenchmarkFigure6VolumeSize regenerates Figure 6: volume size and
+// occupancy sweep (the bench uses 1G and 10G volumes; run cmd/fragbench
+// with -volume 40G for the paper's 40G/400G pairing).
+func BenchmarkFigure6VolumeSize(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxAge = 4
+	tables := runExperiment(b, "fig6", cfg)
+	lastY(b, tables[1], "50% full - 1G", "fs-small-frags/obj")
+	lastY(b, tables[1], "50% full - 10G", "fs-big-frags/obj")
+}
+
+// BenchmarkPathologicalRecovery regenerates the §5.3 pre-shattered-volume
+// experiment.
+func BenchmarkPathologicalRecovery(b *testing.B) {
+	tables := runExperiment(b, "patho", benchConfig())
+	s := tables[0].Series[0]
+	b.ReportMetric(s.Points[0].Y, "start-frags/obj")
+	if p, ok := s.Last(); ok {
+		b.ReportMetric(p.Y, "end-frags/obj")
+	}
+}
+
+// BenchmarkSizeHintAblation regenerates the §5.4/§6 interface-fix
+// ablation.
+func BenchmarkSizeHintAblation(b *testing.B) {
+	tables := runExperiment(b, "hint", benchConfig())
+	lastY(b, tables[0], "No hint (stock)", "stock-frags/obj")
+	lastY(b, tables[0], "Size hint", "hint-frags/obj")
+}
+
+// BenchmarkWriteRequestSize regenerates the write-request-size sweep.
+func BenchmarkWriteRequestSize(b *testing.B) {
+	tables := runExperiment(b, "wreq", benchConfig())
+	yAt(b, tables[0], "Database", 16, "db-16K-frags/obj")
+	yAt(b, tables[0], "Database", 64, "db-64K-frags/obj")
+}
+
+// BenchmarkInterleavedAppend regenerates the §6 interleaved-append
+// extension.
+func BenchmarkInterleavedAppend(b *testing.B) {
+	tables := runExperiment(b, "ileave", benchConfig())
+	yAt(b, tables[0], "Filesystem", 8, "k8-frags/file")
+}
+
+// BenchmarkAllocatorPolicies regenerates the §3.2/§3.4 policy shoot-out.
+func BenchmarkAllocatorPolicies(b *testing.B) {
+	tables := runExperiment(b, "policy", benchConfig())
+	lastY(b, tables[0], "best-fit", "bestfit-frags/obj")
+	lastY(b, tables[0], "ntfs-run-cache", "runcache-frags/obj")
+}

@@ -1,0 +1,120 @@
+// Command fragbench runs the paper-reproduction experiments and prints
+// each table/figure as text (and optionally CSV).
+//
+// Usage:
+//
+//	fragbench -list
+//	fragbench [flags] <experiment-id>... | all
+//
+// Examples:
+//
+//	fragbench fig2                 # Figure 2 at default (bench) scale
+//	fragbench -volume 40G fig6     # Figure 6 with 40G/400G volumes
+//	fragbench -quick all           # every experiment at miniature scale
+//	fragbench -csv fig1            # CSV output for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		volume  = flag.String("volume", "", "volume size (e.g. 4G, 40G); default 4G")
+		occ     = flag.Float64("occupancy", 0, "bulk-load occupancy fraction (default 0.5)")
+		maxAge  = flag.Float64("maxage", 0, "deepest storage age for aging curves (default 10)")
+		ageStep = flag.Float64("agestep", 0, "age measurement interval (default 1)")
+		samples = flag.Int("samples", 0, "reads per throughput measurement (default 200)")
+		seed    = flag.Int64("seed", 0, "workload random seed (default 1)")
+		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		verbose = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fragbench [flags] <experiment-id>... | all\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+		for _, e := range harness.Experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments {
+			fmt.Printf("%-8s %s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.TestConfig()
+	}
+	if *volume != "" {
+		v, err := units.ParseBytes(*volume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.VolumeBytes = v
+	}
+	if *occ > 0 {
+		cfg.Occupancy = *occ
+	}
+	if *maxAge > 0 {
+		cfg.MaxAge = *maxAge
+	}
+	if *ageStep > 0 {
+		cfg.AgeStep = *ageStep
+	}
+	if *samples > 0 {
+		cfg.ReadSamples = *samples
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		exp, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fragbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := exp.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/extent"
+)
+
+// RunCache models NTFS's free-space allocator as the paper describes it
+// (§2): runs of contiguous free clusters are cached in decreasing size and
+// volume-offset order; a new allocation is first attempted from the outer
+// band, then from large cached extents, and only then is the file
+// fragmented. On sequential appends NTFS "aggressively attempt[s] to
+// allocate contiguous space" (§5.4), which the cache models by extending
+// at the file's tail before consulting the cache.
+//
+// Freed space is not immediately reusable: NTFS commits the transactional
+// log entry before freed clusters can be reallocated (§2). Freed runs are
+// therefore quarantined in a pending list until CommitLog is called; the
+// filesystem layer flushes the log periodically, which is what lets a
+// deleted neighbourhood coalesce into large runs before reuse.
+type RunCache struct {
+	idx      *extent.FreeIndex
+	clusters int64
+	// outerBand is the cluster boundary of the preferred fast band.
+	outerBand int64
+	// pending holds freed runs awaiting log commit.
+	pending []extent.Run
+	// pendingClusters tracks their total so FreeClusters stays truthful.
+	pendingClusters int64
+}
+
+// NewRunCache creates a run-cache allocator over a volume of the given
+// size in clusters. bandFrac is the fraction of the volume treated as the
+// preferred outer band (NTFS targets fast outer zones); 0 disables banding.
+func NewRunCache(clusters int64, bandFrac float64) *RunCache {
+	if clusters <= 0 {
+		panic(fmt.Sprintf("alloc: bad volume size %d", clusters))
+	}
+	if bandFrac < 0 || bandFrac > 1 {
+		panic(fmt.Sprintf("alloc: bad band fraction %g", bandFrac))
+	}
+	idx := extent.NewFreeIndex()
+	idx.Free(extent.Run{Start: 0, Len: clusters})
+	return &RunCache{idx: idx, clusters: clusters, outerBand: int64(float64(clusters) * bandFrac)}
+}
+
+// Name implements Policy.
+func (rc *RunCache) Name() string { return "ntfs-run-cache" }
+
+// FreeClusters reports immediately allocatable clusters. Pending
+// (quarantined) clusters are excluded until CommitLog.
+func (rc *RunCache) FreeClusters() int64 { return rc.idx.FreeClusters() }
+
+// PendingClusters reports clusters freed but awaiting log commit.
+func (rc *RunCache) PendingClusters() int64 { return rc.pendingClusters }
+
+// TotalFree reports free plus pending clusters.
+func (rc *RunCache) TotalFree() int64 { return rc.idx.FreeClusters() + rc.pendingClusters }
+
+// Free quarantines r until the next CommitLog.
+func (rc *RunCache) Free(r extent.Run) {
+	rc.pending = append(rc.pending, r)
+	rc.pendingClusters += r.Len
+}
+
+// CommitLog makes all quarantined runs reusable, coalescing them into the
+// free index. The filesystem calls this on its periodic log flush.
+func (rc *RunCache) CommitLog() {
+	for _, r := range rc.pending {
+		rc.idx.Free(r)
+	}
+	rc.pending = rc.pending[:0]
+	rc.pendingClusters = 0
+}
+
+// Alloc implements Policy: it allocates without append context.
+func (rc *RunCache) Alloc(n int64) ([]extent.Run, error) {
+	return rc.AllocAppend(n, -1)
+}
+
+// AllocAppend allocates n clusters the way the paper describes NTFS
+// stream allocation (§2): (1) contiguous extension at tail+1 when a
+// sequential append is detected; (2) when banding is configured, the
+// lowest-offset outer-band run that holds the whole request; (3) the
+// large extents at the front of the size-ordered cache — note NTFS bands
+// metadata but "not file contents", so fs volumes run with banding off
+// and data comes straight from the largest cached runs; (4) when even
+// the largest run cannot hold the remainder, the file is fragmented
+// across successively smaller runs.
+//
+// Largest-extent allocation is what makes the object-size distribution
+// irrelevant (Figure 5): requests never search for a hole that matches
+// the object, so constant-size objects enjoy no special-case reuse.
+func (rc *RunCache) AllocAppend(n, tail int64) ([]extent.Run, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("alloc: invalid request %d", n)
+	}
+	if rc.idx.FreeClusters() < n {
+		// NTFS would force a log commit under pressure rather than fail
+		// while quarantined space exists.
+		if rc.idx.FreeClusters()+rc.pendingClusters >= n {
+			rc.CommitLog()
+		} else {
+			return nil, ErrNoSpace
+		}
+	}
+	var out []extent.Run
+	remaining := n
+
+	// (1) Sequential-append tail extension, possibly partial.
+	if tail >= 0 {
+		if r, ok := rc.idx.ExtendAt(tail+1, remaining); ok {
+			out = append(out, r)
+			remaining -= r.Len
+			if remaining == 0 {
+				return out, nil
+			}
+			tail = r.End() - 1
+		}
+	}
+
+	// (2) Outer band: lowest-offset run inside the band that fits.
+	if rc.outerBand > 0 {
+		if r, ok := rc.takeOuterBand(remaining); ok {
+			out = append(out, r)
+			return out, nil
+		}
+	}
+
+	// (3) Whole-request contiguous anywhere: the lowest-offset cached run
+	// that holds the remainder.
+	if r, ok := rc.idx.TakeFirstFit(remaining); ok {
+		out = append(out, r)
+		return out, nil
+	}
+
+	// (4) Fragment: fill from the largest cached extents.
+	for remaining > 0 {
+		r, ok := rc.idx.TakeUpTo(remaining)
+		if !ok {
+			for _, u := range out {
+				rc.idx.Free(u)
+			}
+			return nil, ErrNoSpace
+		}
+		out = append(out, r)
+		remaining -= r.Len
+	}
+	return out, nil
+}
+
+// takeOuterBand finds the lowest-offset free run that both fits n and
+// starts inside the outer band.
+func (rc *RunCache) takeOuterBand(n int64) (extent.Run, bool) {
+	return rc.idx.TakeFirstFitBelow(n, rc.outerBand)
+}
+
+// LargestRun exposes the biggest cached run (for the defragmenter and
+// tests).
+func (rc *RunCache) LargestRun() (extent.Run, bool) { return rc.idx.LargestRun() }
+
+// RunCount reports the number of cached free runs.
+func (rc *RunCache) RunCount() int { return rc.idx.RunCount() }
+
+// Index exposes the underlying free index for layout tooling. Callers must
+// not mutate it directly.
+func (rc *RunCache) Index() *extent.FreeIndex { return rc.idx }
+
+var _ Policy = (*RunCache)(nil)

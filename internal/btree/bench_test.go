@@ -1,0 +1,62 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPutSequential(b *testing.B) {
+	m := New[int64, int64](func(a, b int64) bool { return a < b })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Put(int64(i), int64(i))
+	}
+}
+
+func BenchmarkPutRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := New[int64, int64](func(a, b int64) bool { return a < b })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Put(rng.Int63n(1<<20), int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New[int64, int64](func(a, b int64) bool { return a < b })
+	const n = 1 << 16
+	for i := int64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Get(int64(i) % n)
+	}
+}
+
+func BenchmarkDeleteInsertCycle(b *testing.B) {
+	m := New[int64, int64](func(a, b int64) bool { return a < b })
+	const n = 1 << 14
+	for i := int64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i) % n
+		m.Delete(k)
+		m.Put(k, k)
+	}
+}
+
+func BenchmarkCeiling(b *testing.B) {
+	m := New[int64, int64](func(a, b int64) bool { return a < b })
+	const n = 1 << 16
+	for i := int64(0); i < n; i++ {
+		m.Put(i*2, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Ceiling(int64(i) % (2 * n))
+	}
+}

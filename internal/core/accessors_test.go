@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// TestAccessors exercises the informational surface of both stores.
+func TestAccessors(t *testing.T) {
+	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, r Repository) {
+		if r.Clock() == nil {
+			t.Fatal("nil clock")
+		}
+		if r.CapacityBytes() <= 0 || r.CapacityBytes() > 128*units.MB {
+			t.Fatalf("capacity %d", r.CapacityBytes())
+		}
+		free0 := r.FreeBytes()
+		if free0 <= 0 || free0 > r.CapacityBytes() {
+			t.Fatalf("free %d of %d", free0, r.CapacityBytes())
+		}
+		for _, k := range []string{"b", "a", "c"} {
+			if err := r.Put(k, 256*units.KB, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r.FreeBytes() >= free0 {
+			t.Fatal("puts did not consume space")
+		}
+		keys := r.Keys()
+		sort.Strings(keys)
+		if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+			t.Fatalf("keys = %v", keys)
+		}
+	})
+}
+
+func TestBackendEscapeHatches(t *testing.T) {
+	fsStore, dbStore := newStores(64*units.MB, disk.MetadataMode)
+	if fsStore.Volume() == nil {
+		t.Fatal("FileStore.Volume nil")
+	}
+	if dbStore.Engine() == nil {
+		t.Fatal("DBStore.Engine nil")
+	}
+	if fsStore.Name() == dbStore.Name() {
+		t.Fatal("backends share a name")
+	}
+}
+
+func TestTrackerAccessors(t *testing.T) {
+	fsStore, _ := newStores(64*units.MB, disk.MetadataMode)
+	tr := NewAgeTracker(fsStore)
+	if tr.Repo() != fsStore {
+		t.Fatal("Repo() mismatch")
+	}
+	tr.Put("a", 1*units.MB, nil)
+	tr.Replace("a", 1*units.MB, nil)
+	if tr.RetiredBytes() != 1*units.MB {
+		t.Fatalf("retired %d", tr.RetiredBytes())
+	}
+	if tr.LiveBytes() != 1*units.MB {
+		t.Fatalf("live %d", tr.LiveBytes())
+	}
+	// Replace of a missing key behaves as create: no retirement.
+	if err := tr.Replace("fresh", 1*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RetiredBytes() != 1*units.MB {
+		t.Fatalf("create-by-replace retired bytes: %d", tr.RetiredBytes())
+	}
+	// Delete of missing key errors without corrupting counters.
+	if err := tr.Delete("ghost"); err == nil {
+		t.Fatal("delete missing succeeded")
+	}
+	if tr.LiveBytes() != 2*units.MB {
+		t.Fatalf("live after failed delete: %d", tr.LiveBytes())
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/extent"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func newStores(capacity int64, mode disk.Mode) (*FileStore, *DBStore) {
+	fsStore := NewFileStore(vclock.New(), FileStoreOptions{Capacity: capacity, DiskMode: mode})
+	dbStore := NewDBStore(vclock.New(), DBStoreOptions{Capacity: capacity, DiskMode: mode})
+	return fsStore, dbStore
+}
+
+func eachStore(t *testing.T, capacity int64, mode disk.Mode, fn func(t *testing.T, r Repository)) {
+	fsStore, dbStore := newStores(capacity, mode)
+	for _, r := range []Repository{fsStore, dbStore} {
+		t.Run(r.Name(), func(t *testing.T) { fn(t, r) })
+	}
+}
+
+func TestRepositoryContract(t *testing.T) {
+	eachStore(t, 128*units.MB, disk.DataMode, func(t *testing.T, r Repository) {
+		data := make([]byte, 200*units.KB)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := r.Put("a", int64(len(data)), data); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Put("a", int64(len(data)), data); err == nil {
+			t.Fatal("duplicate Put succeeded")
+		}
+		n, got, err := r.Get("a")
+		if err != nil || n != int64(len(data)) {
+			t.Fatalf("Get = %d, %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("Get payload mismatch")
+		}
+		if size, err := r.Stat("a"); err != nil || size != int64(len(data)) {
+			t.Fatalf("Stat = %d, %v", size, err)
+		}
+		if r.ObjectCount() != 1 || r.LiveBytes() != int64(len(data)) {
+			t.Fatalf("count=%d live=%d", r.ObjectCount(), r.LiveBytes())
+		}
+
+		// Replace with different contents.
+		data2 := make([]byte, 100*units.KB)
+		for i := range data2 {
+			data2[i] = byte(255 - i%256)
+		}
+		if err := r.Replace("a", int64(len(data2)), data2); err != nil {
+			t.Fatal(err)
+		}
+		_, got, _ = r.Get("a")
+		if !bytes.Equal(got, data2) {
+			t.Fatal("Replace payload mismatch")
+		}
+		if r.LiveBytes() != int64(len(data2)) {
+			t.Fatalf("LiveBytes after replace = %d", r.LiveBytes())
+		}
+
+		if err := r.Delete("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Get("a"); err == nil {
+			t.Fatal("Get after Delete succeeded")
+		}
+		if err := r.Delete("a"); err == nil {
+			t.Fatal("double Delete succeeded")
+		}
+		if r.ObjectCount() != 0 || r.LiveBytes() != 0 {
+			t.Fatalf("count=%d live=%d after delete", r.ObjectCount(), r.LiveBytes())
+		}
+	})
+}
+
+func TestRepositoryRunsAndTags(t *testing.T) {
+	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, r Repository) {
+		for i := 0; i < 5; i++ {
+			if err := r.Put(fmt.Sprintf("o%d", i), 256*units.KB, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seenRuns := map[string]bool{}
+		r.EachObjectRuns(func(key string, bytes int64, runs []extent.Run) {
+			_ = runs
+			seenRuns[key] = true
+			if bytes != 256*units.KB {
+				t.Fatalf("object %s reported %d bytes", key, bytes)
+			}
+		})
+		if len(seenRuns) != 5 {
+			t.Fatalf("EachObjectRuns visited %d objects", len(seenRuns))
+		}
+		seenTags := map[uint32]bool{}
+		r.EachObjectTag(func(key string, tag uint32) {
+			if tag == 0 {
+				t.Fatalf("object %s has zero tag", key)
+			}
+			if seenTags[tag] {
+				t.Fatalf("duplicate tag %d", tag)
+			}
+			seenTags[tag] = true
+		})
+		if len(seenTags) != 5 {
+			t.Fatalf("EachObjectTag visited %d objects", len(seenTags))
+		}
+	})
+}
+
+func TestAgeTracker(t *testing.T) {
+	fsStore, _ := newStores(128*units.MB, disk.MetadataMode)
+	tr := NewAgeTracker(fsStore)
+	const size = 1 * units.MB
+	for i := 0; i < 10; i++ {
+		if err := tr.Put(fmt.Sprintf("o%d", i), size, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Age() != 0 {
+		t.Fatalf("age after puts = %g", tr.Age())
+	}
+	if tr.LiveBytes() != 10*size {
+		t.Fatalf("live = %d", tr.LiveBytes())
+	}
+	// Replace every object once: age 1 ("safe writes per object").
+	for i := 0; i < 10; i++ {
+		if err := tr.Replace(fmt.Sprintf("o%d", i), size, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Age(); got != 1 {
+		t.Fatalf("age after one overwrite each = %g, want 1", got)
+	}
+	// Again: age 2.
+	for i := 0; i < 10; i++ {
+		if err := tr.Replace(fmt.Sprintf("o%d", i), size, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Age(); got != 2 {
+		t.Fatalf("age = %g, want 2", got)
+	}
+	// Deletes retire bytes too.
+	if err := tr.Delete("o0"); err != nil {
+		t.Fatal(err)
+	}
+	wantAge := float64(21*size) / float64(9*size)
+	if got := tr.Age(); got != wantAge {
+		t.Fatalf("age after delete = %g, want %g", got, wantAge)
+	}
+	tr.ResetBaseline()
+	if tr.Age() != 0 {
+		t.Fatal("ResetBaseline did not zero age")
+	}
+}
+
+func TestAgeIndependentOfVolumeSize(t *testing.T) {
+	// §4.4: "Storage age is independent of volume size and update
+	// strategy." Same object count and churn on different volumes must
+	// report identical ages.
+	ages := make([]float64, 0, 2)
+	for _, capacity := range []int64{128 * units.MB, 512 * units.MB} {
+		s := NewFileStore(vclock.New(), FileStoreOptions{Capacity: capacity, DiskMode: disk.MetadataMode})
+		tr := NewAgeTracker(s)
+		for i := 0; i < 8; i++ {
+			if err := tr.Put(fmt.Sprintf("o%d", i), 1*units.MB, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if err := tr.Replace(fmt.Sprintf("o%d", i%8), 1*units.MB, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ages = append(ages, tr.Age())
+	}
+	if ages[0] != ages[1] {
+		t.Fatalf("storage age differed across volume sizes: %g vs %g", ages[0], ages[1])
+	}
+}
+
+func TestSafeReplaceNeverLosesOldVersionOnFailure(t *testing.T) {
+	// Fill a small store so a Replace cannot fit: old version must
+	// survive on both backends.
+	eachStore(t, 16*units.MB, disk.MetadataMode, func(t *testing.T, r Repository) {
+		if err := r.Put("a", 6*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Put("b", 6*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Replace("a", 6*units.MB, nil); err == nil {
+			t.Skip("store had room; semantics not exercised")
+		}
+		if size, err := r.Stat("a"); err != nil || size != 6*units.MB {
+			t.Fatalf("old version damaged: size=%d err=%v", size, err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+// Package core is the paper's primary contribution rendered as a library:
+// a get/put large-object repository abstraction (§4: "applications that
+// make use of simple get/put storage primitives"), two interchangeable
+// implementations — filesystem-backed and database-backed — with matched
+// safe-replace semantics, and the storage-age clock (§4.4) that makes
+// long-term fragmentation measurements comparable across systems,
+// volume sizes, and hardware.
+package core
+
+import (
+	"repro/internal/extent"
+	"repro/internal/vclock"
+)
+
+// Repository is the abstract large-object store both backends implement.
+// Implementations are not safe for concurrent use — the paper's workload
+// is a single stream of operations with interleaved reads.
+type Repository interface {
+	// Name identifies the backend in benchmark output ("filesystem" or
+	// "database").
+	Name() string
+
+	// Put stores a new object of size bytes. data may be nil for
+	// metadata-only simulation; when non-nil it must be size bytes long.
+	// Putting an existing key is an error.
+	Put(key string, size int64, data []byte) error
+
+	// Get reads the whole object, returning its size and — when the
+	// backing drive retains payloads — its contents.
+	Get(key string) (int64, []byte, error)
+
+	// Replace atomically replaces (or creates) the object with new
+	// contents, with crash-safe semantics: until the operation commits,
+	// a failure leaves the previous version intact. This is the paper's
+	// safe write (§4).
+	Replace(key string, size int64, data []byte) error
+
+	// Delete removes the object.
+	Delete(key string) error
+
+	// Stat returns the object's size.
+	Stat(key string) (int64, error)
+
+	// Keys lists live objects in unspecified order.
+	Keys() []string
+
+	// ObjectCount returns the number of live objects.
+	ObjectCount() int
+
+	// LiveBytes returns the total logical bytes of live objects.
+	LiveBytes() int64
+
+	// FreeBytes returns the immediately allocatable bytes of the backing
+	// store.
+	FreeBytes() int64
+
+	// CapacityBytes returns the store's data capacity.
+	CapacityBytes() int64
+
+	// Clock returns the virtual clock charged by the backend's drives.
+	Clock() *vclock.Clock
+
+	// EachObjectRuns visits every live object's physical cluster runs
+	// (frag.Source).
+	EachObjectRuns(fn func(key string, bytes int64, runs []extent.Run))
+
+	// EachObjectTag visits every live object's disk owner tag
+	// (frag.TagSource).
+	EachObjectTag(fn func(key string, tag uint32))
+}
+
+// AgeTracker maintains the paper's storage-age metric for a repository:
+// "the ratio of bytes in objects that once existed on a volume to the
+// number of bytes in use on the volume" (§4.4) — for a safe-write
+// workload, replaced bytes divided by live bytes ("safe writes per
+// object").
+//
+// Use it by routing all mutations through the tracker.
+type AgeTracker struct {
+	repo Repository
+
+	retiredBytes int64 // bytes of object versions retired since baseline
+	liveBytes    int64
+}
+
+// NewAgeTracker wraps repo. Storage age starts at zero; call
+// ResetBaseline after bulk load so that age 0 corresponds to the freshly
+// loaded store, as in the paper's figures.
+func NewAgeTracker(repo Repository) *AgeTracker {
+	return &AgeTracker{repo: repo}
+}
+
+// Repo returns the wrapped repository.
+func (a *AgeTracker) Repo() Repository { return a.repo }
+
+// Age returns the current storage age.
+func (a *AgeTracker) Age() float64 {
+	if a.liveBytes == 0 {
+		return 0
+	}
+	return float64(a.retiredBytes) / float64(a.liveBytes)
+}
+
+// LiveBytes returns the tracked live byte count.
+func (a *AgeTracker) LiveBytes() int64 { return a.liveBytes }
+
+// RetiredBytes returns bytes retired since the baseline.
+func (a *AgeTracker) RetiredBytes() int64 { return a.retiredBytes }
+
+// ResetBaseline zeroes the retired-byte counter (end of bulk load).
+func (a *AgeTracker) ResetBaseline() { a.retiredBytes = 0 }
+
+// Put stores a new object through the tracker.
+func (a *AgeTracker) Put(key string, size int64, data []byte) error {
+	if err := a.repo.Put(key, size, data); err != nil {
+		return err
+	}
+	a.liveBytes += size
+	return nil
+}
+
+// Replace performs a safe replace, retiring the old version's bytes.
+func (a *AgeTracker) Replace(key string, size int64, data []byte) error {
+	old, err := a.repo.Stat(key)
+	existed := err == nil
+	if err := a.repo.Replace(key, size, data); err != nil {
+		return err
+	}
+	if existed {
+		a.retiredBytes += old
+		a.liveBytes -= old
+	}
+	a.liveBytes += size
+	return nil
+}
+
+// Delete removes an object, retiring its bytes.
+func (a *AgeTracker) Delete(key string) error {
+	old, err := a.repo.Stat(key)
+	if err != nil {
+		return err
+	}
+	if err := a.repo.Delete(key); err != nil {
+		return err
+	}
+	a.retiredBytes += old
+	a.liveBytes -= old
+	return nil
+}

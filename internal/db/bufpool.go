@@ -1,0 +1,104 @@
+package db
+
+// bufferPool is a small LRU cache of metadata pages (row pages and blob
+// fragment-tree node pages). The paper's setup keeps table data cacheable
+// by storing BLOBs out of row (§4.2: "allowing the table data to be kept
+// in cache"); BLOB data pages stream through and are not cached.
+type bufferPool struct {
+	capacity int
+	entries  map[PageID]*poolEntry
+	head     *poolEntry // most recently used
+	tail     *poolEntry // least recently used
+	hits     int64
+	misses   int64
+}
+
+type poolEntry struct {
+	id         PageID
+	prev, next *poolEntry
+}
+
+func newBufferPool(capacity int) *bufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &bufferPool{capacity: capacity, entries: make(map[PageID]*poolEntry)}
+}
+
+// Access records a page touch and reports whether it was a cache hit.
+// On miss the page is installed, evicting the LRU entry if needed.
+func (bp *bufferPool) Access(id PageID) bool {
+	if e, ok := bp.entries[id]; ok {
+		bp.hits++
+		bp.moveToFront(e)
+		return true
+	}
+	bp.misses++
+	e := &poolEntry{id: id}
+	bp.entries[id] = e
+	bp.pushFront(e)
+	if len(bp.entries) > bp.capacity {
+		bp.evict()
+	}
+	return false
+}
+
+// Invalidate drops a page (when its blob is deleted or rebuilt).
+func (bp *bufferPool) Invalidate(id PageID) {
+	if e, ok := bp.entries[id]; ok {
+		bp.unlink(e)
+		delete(bp.entries, id)
+	}
+}
+
+func (bp *bufferPool) pushFront(e *poolEntry) {
+	e.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = e
+	}
+	bp.head = e
+	if bp.tail == nil {
+		bp.tail = e
+	}
+}
+
+func (bp *bufferPool) unlink(e *poolEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		bp.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		bp.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (bp *bufferPool) moveToFront(e *poolEntry) {
+	if bp.head == e {
+		return
+	}
+	bp.unlink(e)
+	bp.pushFront(e)
+}
+
+func (bp *bufferPool) evict() {
+	if bp.tail == nil {
+		return
+	}
+	victim := bp.tail
+	bp.unlink(victim)
+	delete(bp.entries, victim.id)
+}
+
+// HitRate returns the fraction of accesses that hit, or 0 before any
+// access.
+func (bp *bufferPool) HitRate() float64 {
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}

@@ -1,0 +1,184 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func TestWholeObjectRequestMode(t *testing.T) {
+	// WriteRequestSize < 0 writes each object as a single request.
+	clock := vclock.New()
+	data := disk.New(disk.DefaultGeometry(128*units.MB), clock, disk.MetadataMode)
+	logd := disk.New(disk.DefaultGeometry(64*units.MB), clock, disk.MetadataMode)
+	d := Open(data, logd, Config{WriteRequestSize: -1})
+	if err := d.Put("a", 10*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+	frags, _ := d.Fragments("a")
+	if frags > 2 {
+		t.Fatalf("single-request put fragmented: %d", frags)
+	}
+}
+
+func TestZeroAndMismatchedWrites(t *testing.T) {
+	d := newDB(64*units.MB, disk.MetadataMode)
+	if err := d.Put("a", 0, nil); err == nil {
+		t.Fatal("zero-size put succeeded")
+	}
+	if err := d.Put("a", 100, []byte{1}); err == nil {
+		t.Fatal("mismatched data length accepted")
+	}
+}
+
+func TestDeleteMissingAndStatMissing(t *testing.T) {
+	d := newDB(64*units.MB, disk.MetadataMode)
+	if err := d.Delete("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete err = %v", err)
+	}
+	if _, err := d.Stat("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat err = %v", err)
+	}
+	if _, err := d.Fragments("ghost"); err == nil {
+		t.Fatal("fragments of missing object succeeded")
+	}
+	if _, err := d.ObjectRuns("ghost"); err == nil {
+		t.Fatal("runs of missing object succeeded")
+	}
+	if d.Tag("ghost") != 0 {
+		t.Fatal("tag of missing object nonzero")
+	}
+}
+
+func TestPutFailureLeavesNoTrace(t *testing.T) {
+	d := newDB(16*units.MB, disk.MetadataMode)
+	free0 := d.FreeBytes()
+	if err := d.Put("big", 64*units.MB, nil); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	if d.ObjectCount() != 0 {
+		t.Fatal("failed put left an object")
+	}
+	if d.FreeBytes() != free0 {
+		t.Fatalf("failed put leaked pages: %d -> %d", free0, d.FreeBytes())
+	}
+	d.CheckInvariants()
+}
+
+func TestReplaceUnderPressureUsesGhostFlush(t *testing.T) {
+	// With a tiny ghost horizon the engine can reclaim just-replaced
+	// space quickly; repeated replacement near capacity must keep
+	// working once the ghost horizon passes.
+	clock := vclock.New()
+	data := disk.New(disk.DefaultGeometry(64*units.MB), clock, disk.MetadataMode)
+	logd := disk.New(disk.DefaultGeometry(64*units.MB), clock, disk.MetadataMode)
+	d := Open(data, logd, Config{GhostHorizon: 1})
+	if err := d.Put("a", 20*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Several small ops to age the ghost queue between big replaces.
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("pad%d", i%3)
+		_ = d.Replace(key, 64*units.KB, nil)
+		if err := d.Replace("a", 20*units.MB, nil); err != nil {
+			// Acceptable mid-horizon, but after padding ops the space
+			// must come back.
+			continue
+		}
+	}
+	if _, err := d.Stat("a"); err != nil {
+		t.Fatal("object lost under pressure")
+	}
+	d.CheckInvariants()
+}
+
+func TestGetChargesNodePageReadsOnceCached(t *testing.T) {
+	d := newDB(128*units.MB, disk.MetadataMode)
+	d.Put("a", 8*units.MB, nil) // > 500 pages: at least 2 node pages + 1 root region
+	d.DataDrive().ResetStats()
+	d.Get("a")
+	firstReads := d.DataDrive().Stats().Reads
+	d.DataDrive().ResetStats()
+	d.Get("a")
+	secondReads := d.DataDrive().Stats().Reads
+	if secondReads >= firstReads {
+		t.Fatalf("buffer pool did not absorb node reads: %d then %d", firstReads, secondReads)
+	}
+}
+
+func TestMetaTable(t *testing.T) {
+	d := newDB(64*units.MB, disk.MetadataMode)
+	mt := d.NewMetaTable("objects")
+	if err := mt.Insert("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Insert("a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup insert err = %v", err)
+	}
+	if !mt.Lookup("a") || mt.Lookup("b") {
+		t.Fatal("lookup wrong")
+	}
+	if err := mt.Update("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Update("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing err = %v", err)
+	}
+	if mt.Len() != 1 {
+		t.Fatalf("len = %d", mt.Len())
+	}
+	if err := mt.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestRowPageAllocationCadence(t *testing.T) {
+	d := newDB(128*units.MB, disk.MetadataMode)
+	for i := 0; i < RowsPerPage*3; i++ {
+		if err := d.Put(fmt.Sprintf("o%d", i), 8*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(d.rowPages); got != 3 {
+		t.Fatalf("row pages = %d, want 3 for %d inserts", got, RowsPerPage*3)
+	}
+}
+
+func TestGhostHorizonExactness(t *testing.T) {
+	clock := vclock.New()
+	data := disk.New(disk.DefaultGeometry(64*units.MB), clock, disk.MetadataMode)
+	d := Open(data, nil, Config{GhostHorizon: 3})
+	d.Put("victim", 1*units.MB, nil)
+	free0 := d.FreeBytes()
+	d.Delete("victim")
+	// The pages must stay ghosted for exactly GhostHorizon further ops.
+	for i := 0; i < 3; i++ {
+		if d.FreeBytes() > free0 {
+			t.Fatalf("ghosts released after only %d ops", i)
+		}
+		d.Put(fmt.Sprintf("pad%d", i), 8*units.KB, nil)
+	}
+	d.Put("trigger", 8*units.KB, nil)
+	if d.FreeBytes() <= free0 {
+		t.Fatal("ghosts never released")
+	}
+}
+
+func TestColocatedLogFallsBackToDataDrive(t *testing.T) {
+	clock := vclock.New()
+	data := disk.New(disk.DefaultGeometry(64*units.MB), clock, disk.MetadataMode)
+	d := Open(data, nil, Config{}) // nil log drive
+	if err := d.Put("a", 256*units.KB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+}

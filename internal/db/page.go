@@ -1,0 +1,79 @@
+// Package db implements the database substrate of the comparison — a
+// SQL-Server-analog storage engine with the mechanisms the paper
+// identifies on the database side:
+//
+//   - 8 KB pages grouped into 64 KB extents, allocated through GAM-style
+//     bitmaps scanned lowest-offset-first;
+//   - out-of-row BLOB storage (§4.2) as an Exodus-style fragment tree
+//     (§2), so BLOB data pages do not decluster row data;
+//   - bulk-logged transactions (§4): BLOB pages are written to the data
+//     file and forced at commit, while only metadata goes to a dedicated
+//     log drive — "SQL was given a dedicated log and data drive" (§4.1);
+//   - deferred (ghost) deallocation, so a replaced object's old pages
+//     rejoin the free pool only after the operation commits and the ghost
+//     cleanup horizon passes;
+//   - no BLOB defragmentation other than a full table rebuild, the
+//     recommended practice reported in §5.3.
+//
+// The engine is deliberately page-granular: the paper traces SQL Server's
+// unbounded fragmentation growth to piecemeal lowest-first reuse of freed
+// space, in contrast to NTFS's largest-run-first cache.
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Fixed engine geometry, matching SQL Server's on-disk units.
+const (
+	// PageSize is the size of one database page in bytes.
+	PageSize = 8 * units.KB
+	// PagesPerExtent is the number of pages in one allocation extent.
+	PagesPerExtent = 8
+	// ExtentSize is the size of one extent in bytes (64 KB — the same
+	// number that shows up as the convergent fragment size in Figure 3).
+	ExtentSize = PageSize * PagesPerExtent
+	// BlobTreeFanout is the number of leaf-page pointers one interior
+	// node page of the Exodus-style blob fragment tree holds. Node pages
+	// are allocated from the same pool as data pages, interleaved with
+	// the data stream — one of the reasons object layouts drift off
+	// extent alignment even for constant-size objects (§5.4).
+	BlobTreeFanout = 500
+	// RowsPerPage is how many metadata rows fit a heap page; a new row
+	// page is allocated from the shared pool every RowsPerPage inserts.
+	RowsPerPage = 64
+)
+
+// PageID identifies a database page. Pages map to disk clusters via the
+// engine's data-region offset: page p occupies clusters
+// [dataStart + p*clustersPerPage, ...+clustersPerPage).
+type PageID int64
+
+// PageRun is a contiguous range of pages [Start, Start+Len).
+type PageRun struct {
+	Start PageID
+	Len   int64
+}
+
+// End returns the first page after the run.
+func (r PageRun) End() PageID { return r.Start + PageID(r.Len) }
+
+func (r PageRun) String() string { return fmt.Sprintf("pages[%d,+%d)", r.Start, r.Len) }
+
+// CoalescePageRuns merges adjacent runs in a sorted-by-logical-order page
+// list into maximal physically contiguous runs. The input is the logical
+// page sequence of an object; the output length is the object's fragment
+// count as the paper's marker tool would measure it.
+func CoalescePageRuns(pages []PageID) []PageRun {
+	var out []PageRun
+	for _, p := range pages {
+		if n := len(out); n > 0 && out[n-1].End() == p {
+			out[n-1].Len++
+		} else {
+			out = append(out, PageRun{Start: p, Len: 1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// churnedDB builds a database fragmented by safe-replace churn.
+func churnedDB(t *testing.T, mode disk.Mode) *Database {
+	t.Helper()
+	d := newDB(256*units.MB, mode)
+	const n = 20
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		size := int64(rng.Intn(8)+4) * 512 * units.KB
+		var data []byte
+		if mode == disk.DataMode {
+			data = make([]byte, size)
+			rng.Read(data)
+		}
+		if err := d.Put(fmt.Sprintf("o%d", i), size, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for op := 0; op < 8*n; op++ {
+		i := rng.Intn(n)
+		size := int64(rng.Intn(8)+4) * 512 * units.KB
+		var data []byte
+		if mode == disk.DataMode {
+			data = make([]byte, size)
+			rng.Read(data)
+		}
+		if err := d.Replace(fmt.Sprintf("o%d", i), size, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestRebuildDefragments(t *testing.T) {
+	d := churnedDB(t, disk.MetadataMode)
+	before := 0
+	for _, k := range d.Keys() {
+		f, _ := d.Fragments(k)
+		before += f
+	}
+	if before <= d.ObjectCount() {
+		t.Skip("churn produced no fragmentation; nothing to rebuild")
+	}
+	rep := d.Rebuild()
+	if rep.Objects != d.ObjectCount() {
+		t.Fatalf("rebuild touched %d of %d objects", rep.Objects, d.ObjectCount())
+	}
+	if rep.FragmentsBefore != before {
+		t.Fatalf("FragmentsBefore = %d, want %d", rep.FragmentsBefore, before)
+	}
+	if rep.FragmentsAfter >= rep.FragmentsBefore {
+		t.Fatalf("rebuild did not defragment: %d -> %d", rep.FragmentsBefore, rep.FragmentsAfter)
+	}
+	// A rebuilt table lays out like a fresh bulk load: near-contiguous.
+	if got := float64(rep.FragmentsAfter) / float64(rep.Objects); got > 2 {
+		t.Fatalf("rebuilt table still has %.2f fragments/object", got)
+	}
+	d.CheckInvariants()
+}
+
+func TestRebuildPreservesContents(t *testing.T) {
+	d := churnedDB(t, disk.DataMode)
+	want := map[string][]byte{}
+	for _, k := range d.Keys() {
+		data, err := d.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = data
+	}
+	d.Rebuild()
+	for k, w := range want {
+		got, err := d.Get(k)
+		if err != nil {
+			t.Fatalf("object %s lost in rebuild: %v", k, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("object %s corrupted by rebuild", k)
+		}
+	}
+	d.CheckInvariants()
+}
+
+func TestRebuildChargesTime(t *testing.T) {
+	d := churnedDB(t, disk.MetadataMode)
+	before := d.data.Clock().Now()
+	rep := d.Rebuild()
+	if d.data.Clock().Now() == before {
+		t.Fatal("rebuild charged no virtual time")
+	}
+	if rep.BytesMoved == 0 {
+		t.Fatal("rebuild reported no bytes moved")
+	}
+}
+
+func TestRebuildIsRepeatableAndIdempotentish(t *testing.T) {
+	d := churnedDB(t, disk.MetadataMode)
+	first := d.Rebuild()
+	second := d.Rebuild()
+	if second.FragmentsAfter > first.FragmentsAfter {
+		t.Fatalf("second rebuild worse than first: %d > %d",
+			second.FragmentsAfter, first.FragmentsAfter)
+	}
+	d.CheckInvariants()
+}
+
+func TestRebuildEmptyDatabase(t *testing.T) {
+	d := newDB(64*units.MB, disk.MetadataMode)
+	rep := d.Rebuild()
+	if rep.Objects != 0 || rep.BytesMoved != 0 {
+		t.Fatalf("empty rebuild: %+v", rep)
+	}
+	if err := d.Put("a", 64*units.KB, nil); err != nil {
+		t.Fatalf("put after empty rebuild: %v", err)
+	}
+}
+
+func TestResetReuseConservesPages(t *testing.T) {
+	a := NewAllocator(64)
+	runs, _ := a.AllocRequest(64) // 64 pages = 8 whole extents
+	free0 := a.FreePages()
+	a.FreeRuns(runs) // everything into the deallocation cache
+	if a.ReuseQueueLen() == 0 {
+		t.Fatal("expected queued extents")
+	}
+	a.ResetReuse()
+	if a.ReuseQueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+	if a.FreePages() != free0+64 {
+		t.Fatalf("pages lost: have %d, want %d", a.FreePages(), free0+64)
+	}
+	a.CheckInvariants()
+	// Everything must be allocatable again, sequentially.
+	again, ok := a.AllocRequest(64)
+	if !ok || again[0].Start != runs[0].Start {
+		t.Fatalf("post-reset allocation not sequential: %v", again)
+	}
+}

@@ -1,0 +1,61 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAllocFreeCycle measures the free-index hot path under the
+// churn pattern the aging workload produces.
+func BenchmarkAllocFreeCycle(b *testing.B) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 1 << 22})
+	rng := rand.New(rand.NewSource(1))
+	var held []Run
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(held) < 512 || rng.Intn(2) == 0 {
+			if r, ok := f.TakeFirstFit(int64(rng.Intn(256) + 1)); ok {
+				held = append(held, r)
+				continue
+			}
+		}
+		if len(held) > 0 {
+			j := rng.Intn(len(held))
+			f.Free(held[j])
+			held[j] = held[len(held)-1]
+			held = held[:len(held)-1]
+		}
+	}
+}
+
+func BenchmarkTakeBestFit(b *testing.B) {
+	f := NewFreeIndex()
+	// Many holes of varied sizes.
+	for i := int64(0); i < 4096; i++ {
+		f.Free(Run{Start: i * 1000, Len: 1 + i%512})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r, ok := f.TakeBestFit(int64(i%500 + 1)); ok {
+			f.Free(r)
+		}
+	}
+}
+
+func BenchmarkCoalescingFree(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := NewFreeIndex()
+		b.StartTimer()
+		// Free alternating then fill gaps: every second op coalesces.
+		for j := int64(0); j < 128; j++ {
+			f.Free(Run{Start: j * 2 * 16, Len: 16})
+		}
+		for j := int64(0); j < 128; j++ {
+			f.Free(Run{Start: j*2*16 + 16, Len: 16})
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunBasics(t *testing.T) {
+	r := Run{Start: 10, Len: 5}
+	if r.End() != 15 {
+		t.Fatalf("End = %d", r.End())
+	}
+	if !r.Contains(10) || !r.Contains(14) || r.Contains(15) || r.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if !r.Overlaps(Run{Start: 14, Len: 1}) || r.Overlaps(Run{Start: 15, Len: 1}) {
+		t.Fatal("Overlaps wrong")
+	}
+	if !r.Adjacent(Run{Start: 15, Len: 3}) || !r.Adjacent(Run{Start: 7, Len: 3}) {
+		t.Fatal("Adjacent wrong")
+	}
+	if r.Adjacent(Run{Start: 16, Len: 3}) {
+		t.Fatal("non-adjacent reported adjacent")
+	}
+}
+
+func TestFreeCoalesce(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 10})
+	f.Free(Run{Start: 20, Len: 10})
+	if f.RunCount() != 2 {
+		t.Fatalf("RunCount = %d, want 2", f.RunCount())
+	}
+	// Fill the gap: all three coalesce into one run.
+	f.Free(Run{Start: 10, Len: 10})
+	if f.RunCount() != 1 {
+		t.Fatalf("RunCount after merge = %d, want 1", f.RunCount())
+	}
+	r, ok := f.LargestRun()
+	if !ok || r != (Run{Start: 0, Len: 30}) {
+		t.Fatalf("LargestRun = %v", r)
+	}
+	if f.FreeClusters() != 30 {
+		t.Fatalf("FreeClusters = %d", f.FreeClusters())
+	}
+	f.CheckInvariants()
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	f.Free(Run{Start: 5, Len: 2})
+}
+
+func TestTakeFirstFit(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 100, Len: 4})
+	f.Free(Run{Start: 0, Len: 2})
+	f.Free(Run{Start: 50, Len: 8})
+	r, ok := f.TakeFirstFit(3)
+	if !ok || r != (Run{Start: 50, Len: 3}) {
+		t.Fatalf("TakeFirstFit(3) = %v,%v; want [50,+3)", r, ok)
+	}
+	// Remainder of the split run must still be free.
+	if !f.IsFree(Run{Start: 53, Len: 5}) {
+		t.Fatal("split remainder not free")
+	}
+	if _, ok := f.TakeFirstFit(100); ok {
+		t.Fatal("oversized TakeFirstFit succeeded")
+	}
+	f.CheckInvariants()
+}
+
+func TestTakeBestFit(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 10})
+	f.Free(Run{Start: 20, Len: 4})
+	f.Free(Run{Start: 40, Len: 6})
+	r, ok := f.TakeBestFit(4)
+	if !ok || r != (Run{Start: 20, Len: 4}) {
+		t.Fatalf("TakeBestFit(4) = %v, want exact [20,+4)", r)
+	}
+	r, ok = f.TakeBestFit(5)
+	if !ok || r != (Run{Start: 40, Len: 5}) {
+		t.Fatalf("TakeBestFit(5) = %v, want [40,+5)", r)
+	}
+	f.CheckInvariants()
+}
+
+func TestTakeWorstFit(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 10})
+	f.Free(Run{Start: 20, Len: 4})
+	r, ok := f.TakeWorstFit(2)
+	if !ok || r != (Run{Start: 0, Len: 2}) {
+		t.Fatalf("TakeWorstFit = %v", r)
+	}
+	f.CheckInvariants()
+}
+
+func TestTakeNextFit(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 5})
+	f.Free(Run{Start: 10, Len: 5})
+	f.Free(Run{Start: 20, Len: 5})
+	r, cur, ok := f.TakeNextFit(3, 8)
+	if !ok || r.Start != 10 || cur != 13 {
+		t.Fatalf("TakeNextFit from 8 = %v cur=%d", r, cur)
+	}
+	// Wraps around when nothing ahead fits.
+	r, _, ok = f.TakeNextFit(5, 21)
+	if !ok || r.Start != 0 {
+		t.Fatalf("TakeNextFit wrap = %v", r)
+	}
+	f.CheckInvariants()
+}
+
+func TestTakeUpTo(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 3})
+	f.Free(Run{Start: 10, Len: 8})
+	r, ok := f.TakeUpTo(100)
+	if !ok || r != (Run{Start: 10, Len: 8}) {
+		t.Fatalf("TakeUpTo = %v", r)
+	}
+	r, ok = f.TakeUpTo(2)
+	if !ok || r != (Run{Start: 0, Len: 2}) {
+		t.Fatalf("TakeUpTo(2) = %v", r)
+	}
+	f.CheckInvariants()
+}
+
+func TestTakeAtAndExtendAt(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 10, Len: 10})
+	if _, ok := f.TakeAt(5, 3); ok {
+		t.Fatal("TakeAt outside free space succeeded")
+	}
+	r, ok := f.TakeAt(12, 3)
+	if !ok || r != (Run{Start: 12, Len: 3}) {
+		t.Fatalf("TakeAt = %v", r)
+	}
+	// [10,12) and [15,20) remain.
+	if f.RunCount() != 2 || f.FreeClusters() != 7 {
+		t.Fatalf("after TakeAt: runs=%d free=%d", f.RunCount(), f.FreeClusters())
+	}
+	r, ok = f.ExtendAt(15, 100)
+	if !ok || r != (Run{Start: 15, Len: 5}) {
+		t.Fatalf("ExtendAt = %v", r)
+	}
+	if _, ok := f.ExtendAt(15, 1); ok {
+		t.Fatal("ExtendAt on used space succeeded")
+	}
+	f.CheckInvariants()
+}
+
+func TestReserve(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 100})
+	if !f.Reserve(Run{Start: 40, Len: 20}) {
+		t.Fatal("Reserve failed")
+	}
+	if f.IsFree(Run{Start: 40, Len: 1}) {
+		t.Fatal("reserved space still free")
+	}
+	if !f.IsFree(Run{Start: 0, Len: 40}) || !f.IsFree(Run{Start: 60, Len: 40}) {
+		t.Fatal("split remainders not free")
+	}
+	if f.Reserve(Run{Start: 30, Len: 20}) {
+		t.Fatal("Reserve spanning used space succeeded")
+	}
+	f.CheckInvariants()
+}
+
+func TestAscendSizeDesc(t *testing.T) {
+	f := NewFreeIndex()
+	f.Free(Run{Start: 0, Len: 5})
+	f.Free(Run{Start: 10, Len: 20})
+	f.Free(Run{Start: 40, Len: 10})
+	var lens []int64
+	f.AscendSizeDesc(func(r Run) bool { lens = append(lens, r.Len); return true })
+	want := []int64{20, 10, 5}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("size order %v, want %v", lens, want)
+		}
+	}
+}
+
+// Property: random alloc/free cycles conserve clusters exactly and never
+// produce overlapping or uncoalesced free runs.
+func TestQuickConservation(t *testing.T) {
+	const volume = 1 << 14
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fi := NewFreeIndex()
+		fi.Free(Run{Start: 0, Len: volume})
+		var held []Run
+		for op := 0; op < 400; op++ {
+			if rng.Intn(2) == 0 && fi.FreeClusters() > 0 {
+				n := rng.Int63n(64) + 1
+				var r Run
+				var ok bool
+				switch rng.Intn(4) {
+				case 0:
+					r, ok = fi.TakeFirstFit(n)
+				case 1:
+					r, ok = fi.TakeBestFit(n)
+				case 2:
+					r, ok = fi.TakeWorstFit(n)
+				case 3:
+					r, ok = fi.TakeUpTo(n)
+				}
+				if ok {
+					held = append(held, r)
+				}
+			} else if len(held) > 0 {
+				i := rng.Intn(len(held))
+				fi.Free(held[i])
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+			}
+			var heldSum int64
+			for _, r := range held {
+				heldSum += r.Len
+			}
+			if heldSum+fi.FreeClusters() != volume {
+				return false
+			}
+		}
+		fi.CheckInvariants()
+		// Free everything back: must coalesce to a single full-volume run.
+		for _, r := range held {
+			fi.Free(r)
+		}
+		return fi.RunCount() == 1 && fi.FreeClusters() == volume
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

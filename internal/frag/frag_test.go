@@ -1,0 +1,148 @@
+package frag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/extent"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func TestCountRunFragments(t *testing.T) {
+	cases := []struct {
+		runs []extent.Run
+		want int
+	}{
+		{nil, 0},
+		{[]extent.Run{{Start: 0, Len: 10}}, 1},
+		{[]extent.Run{{Start: 0, Len: 10}, {Start: 10, Len: 5}}, 1}, // physically contiguous
+		{[]extent.Run{{Start: 0, Len: 10}, {Start: 20, Len: 5}}, 2},
+		{[]extent.Run{{Start: 20, Len: 5}, {Start: 0, Len: 10}}, 2}, // logical order matters
+		{[]extent.Run{{Start: 0, Len: 1}, {Start: 2, Len: 1}, {Start: 4, Len: 1}}, 3},
+	}
+	for i, c := range cases {
+		if got := CountRunFragments(c.runs); got != c.want {
+			t.Errorf("case %d: got %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+type fakeSource map[string][]extent.Run
+
+func (f fakeSource) EachObjectRuns(fn func(string, int64, []extent.Run)) {
+	for k, runs := range f {
+		fn(k, extent.SumLen(runs)*4096, runs)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	src := fakeSource{
+		"a": {{Start: 0, Len: 16}},
+		"b": {{Start: 100, Len: 8}, {Start: 200, Len: 8}},
+		"c": {{Start: 300, Len: 4}, {Start: 400, Len: 4}, {Start: 500, Len: 8}},
+	}
+	rep := Analyze(src)
+	if rep.Objects != 3 || rep.TotalFragments != 6 || rep.MaxFragments != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if got := rep.MeanFragments(); got != 2 {
+		t.Fatalf("mean = %g", got)
+	}
+	if rep.PerObject[0].Key != "a" || rep.PerObject[2].Fragments != 3 {
+		t.Fatalf("per-object: %+v", rep.PerObject)
+	}
+	// 48 clusters * 4KB = 192KB = 3 x 64KB; 6 fragments -> 2 per 64KB.
+	if got := rep.FragmentsPer64KB(); got != 2 {
+		t.Fatalf("per64KB = %g", got)
+	}
+}
+
+func TestScanMarkers(t *testing.T) {
+	d := disk.New(disk.DefaultGeometry(64*units.MB), vclock.New(), disk.MetadataMode)
+	// Object 7: two fragments; object 9: contiguous.
+	d.WriteRun(extent.Run{Start: 10, Len: 4}, 7, 0, nil)
+	d.WriteRun(extent.Run{Start: 50, Len: 4}, 7, 4, nil)
+	d.WriteRun(extent.Run{Start: 100, Len: 8}, 9, 0, nil)
+	got, err := ScanMarkers(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[7] != 2 || got[9] != 1 {
+		t.Fatalf("scan: %v", got)
+	}
+	d.DisableOwnerMap()
+	if _, err := ScanMarkers(d); err == nil {
+		t.Fatal("scan without owner map succeeded")
+	}
+}
+
+func TestScanDetectsLogicalReordering(t *testing.T) {
+	// Physically adjacent but logically out of order counts as fragmented.
+	d := disk.New(disk.DefaultGeometry(64*units.MB), vclock.New(), disk.MetadataMode)
+	d.WriteRun(extent.Run{Start: 10, Len: 4}, 3, 4, nil) // second half first
+	d.WriteRun(extent.Run{Start: 14, Len: 4}, 3, 0, nil)
+	got, _ := ScanMarkers(d)
+	if got[3] != 2 {
+		t.Fatalf("reordered object scanned as %d fragments, want 2", got[3])
+	}
+}
+
+func TestCrossValidateAgainstEngines(t *testing.T) {
+	// The paper validated its marker tool against the NTFS defragmenter's
+	// reports; we validate the scanner against engine extent lists on
+	// both backends after real churn.
+	stores := []core.Repository{
+		core.NewFileStore(vclock.New(), core.FileStoreOptions{Capacity: 64 * units.MB, DiskMode: disk.MetadataMode}),
+		core.NewDBStore(vclock.New(), core.DBStoreOptions{Capacity: 64 * units.MB, DiskMode: disk.MetadataMode}),
+	}
+	for _, s := range stores {
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 12; i++ {
+				if err := s.Put(fmt.Sprintf("o%d", i), int64(rng.Intn(8)+1)*128*units.KB, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for op := 0; op < 60; op++ {
+				key := fmt.Sprintf("o%d", rng.Intn(12))
+				if err := s.Replace(key, int64(rng.Intn(8)+1)*128*units.KB, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var drive *disk.Drive
+			switch st := s.(type) {
+			case *core.FileStore:
+				drive = st.Volume().Drive()
+			case *core.DBStore:
+				drive = st.Engine().DataDrive()
+			}
+			bad, err := CrossValidate(drive, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bad) > 0 {
+				t.Fatalf("marker scan disagrees with extent lists: %v", bad)
+			}
+		})
+	}
+}
+
+func TestRunLengthHistogram(t *testing.T) {
+	runs := []extent.Run{
+		{Start: 0, Len: 1}, {Start: 10, Len: 1}, // bucket 0
+		{Start: 20, Len: 3},  // bucket 1 (2-3)
+		{Start: 30, Len: 8},  // bucket 3 (8-15)
+		{Start: 50, Len: 15}, // bucket 3
+	}
+	h := RunLengthHistogram(runs)
+	if h[0] != 2 || h[1] != 1 || h[3] != 2 {
+		t.Fatalf("histogram: %v", h)
+	}
+	if len(RunLengthHistogram(nil)) != 0 {
+		t.Fatal("nil runs should give empty histogram")
+	}
+}

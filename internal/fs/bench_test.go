@@ -1,0 +1,91 @@
+package fs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func benchVolume(capacity int64) *Volume {
+	d := disk.New(disk.DefaultGeometry(capacity), vclock.New(), disk.MetadataMode, disk.WithoutOwnerMap())
+	return Format(d, Config{})
+}
+
+// BenchmarkSafeWriteChurn measures the full safe-write protocol under
+// steady replacement churn.
+func BenchmarkSafeWriteChurn(b *testing.B) {
+	v := benchVolume(1 * units.GB)
+	const n = 100
+	opts := SafeWriteOptions{WriteRequestSize: 64 * units.KB}
+	for i := 0; i < n; i++ {
+		if err := v.SafeWrite(fmt.Sprintf("o%d", i), 1*units.MB, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.SafeWrite(fmt.Sprintf("o%d", rng.Intn(n)), 1*units.MB, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppend64K measures the per-request append path.
+func BenchmarkAppend64K(b *testing.B) {
+	// Slack covers the 1% MFT zone reservation at large b.N.
+	v := benchVolume(max(int64(b.N)*72*units.KB+256*units.MB, 1*units.GB))
+	f, err := v.Create("stream")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Append(64*units.KB, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadAllAged measures whole-file reads on a fragmented volume.
+func BenchmarkReadAllAged(b *testing.B) {
+	v := benchVolume(1 * units.GB)
+	const n = 100
+	opts := SafeWriteOptions{WriteRequestSize: 64 * units.KB}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		v.SafeWrite(fmt.Sprintf("o%d", i), 1*units.MB, nil, opts)
+	}
+	for i := 0; i < 4*n; i++ {
+		v.SafeWrite(fmt.Sprintf("o%d", rng.Intn(n)), 1*units.MB, nil, opts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := v.Open(fmt.Sprintf("o%d", rng.Intn(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.ReadAll()
+	}
+}
+
+// BenchmarkDefragment measures a defragmentation pass over a shattered
+// volume.
+func BenchmarkDefragment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		v := benchVolume(512 * units.MB)
+		for j := 0; j < 20; j++ {
+			v.SafeWrite(fmt.Sprintf("o%d", j), 10*units.MB, nil, SafeWriteOptions{WriteRequestSize: 64 * units.KB})
+		}
+		v.ShatterFiles(16)
+		b.StartTimer()
+		v.Defragment(0)
+	}
+}

@@ -1,0 +1,162 @@
+package fs
+
+import (
+	"sort"
+
+	"repro/internal/extent"
+)
+
+// extRun builds an extent.Run (local shorthand).
+func extRun(start, length int64) extent.Run { return extent.Run{Start: start, Len: length} }
+
+// This file implements an online defragmenter analogous to the Windows
+// utility the paper mentions (§3.4: "The Windows defragmentation utility
+// supports on-line partial defragmentation"). The paper's conclusion warns
+// that defragmentation "imposes read/write performance impacts that can
+// outweigh its benefits" — the defragmenter charges full read+write disk
+// time for every file it moves, so the harness can quantify that tradeoff.
+
+// DefragReport summarises one defragmentation pass.
+type DefragReport struct {
+	FilesExamined   int
+	FilesMoved      int
+	FragmentsBefore int
+	FragmentsAfter  int
+	BytesMoved      int64
+}
+
+// Defragment performs a partial online defragmentation pass: the most
+// fragmented files are rewritten into contiguous space, most-fragmented
+// first, until budgetBytes of data has been moved (budgetBytes <= 0 means
+// no limit). Files that cannot be placed contiguously are left in place.
+func (v *Volume) Defragment(budgetBytes int64) DefragReport {
+	var rep DefragReport
+	// Snapshot candidates; moving files mutates v.files' contents but not
+	// the key set.
+	files := make([]*File, 0, len(v.files))
+	for _, f := range v.files {
+		rep.FilesExamined++
+		rep.FragmentsBefore += f.Fragments()
+		if f.Fragments() > 1 {
+			files = append(files, f)
+		}
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].Fragments() != files[j].Fragments() {
+			return files[i].Fragments() > files[j].Fragments()
+		}
+		return files[i].name < files[j].name
+	})
+	// Freed source extents must be reusable for subsequent moves.
+	v.FlushLog()
+	for _, f := range files {
+		if budgetBytes > 0 && rep.BytesMoved >= budgetBytes {
+			break
+		}
+		if v.moveContiguous(f) {
+			rep.FilesMoved++
+			rep.BytesMoved += f.size
+			v.FlushLog()
+		}
+	}
+	for _, f := range v.files {
+		rep.FragmentsAfter += f.Fragments()
+	}
+	return rep
+}
+
+// moveContiguous rewrites f into a single run if the allocator can provide
+// one. It charges a full read of the old layout and write of the new.
+func (v *Volume) moveContiguous(f *File) bool {
+	need := f.allocated
+	if need == 0 {
+		return false
+	}
+	runs, err := v.rc.Alloc(need)
+	if err != nil || len(runs) != 1 {
+		// Could not get contiguous space; put any partial grant back.
+		for _, r := range runs {
+			v.rc.Free(r)
+		}
+		return false
+	}
+	// Read old, write new, free old.
+	for _, r := range f.runs {
+		v.drive.ReadRun(r)
+	}
+	v.drive.WriteRun(runs[0], f.tag, 0, nil)
+	for _, r := range f.runs {
+		v.rc.Free(r)
+		v.drive.ClearOwner(r)
+	}
+	f.runs = f.runs[:0]
+	f.allocated = 0
+	f.appendRuns(runs)
+	v.metadataWrite(f.tag)
+	v.noteMetadataOp()
+	return true
+}
+
+// ShatterFiles artificially and pathologically fragments the volume:
+// every live file is rewritten as scattered stripes of stripeClusters,
+// with free space interleaved between them. It is the setup behind the
+// paper's §5.3 observation: "When we ran on an artificially and
+// pathologically fragmented NTFS volume, we found that fragmentation
+// slowly decreases over time," i.e. the run cache is approaching an
+// asymptote from above as well as from below. This is a test fixture, not
+// a timed operation. It returns the resulting mean fragments per file.
+func (v *Volume) ShatterFiles(stripeClusters int64) float64 {
+	if stripeClusters <= 0 {
+		stripeClusters = 16
+	}
+	v.FlushLog()
+	var spacers []sfRun
+	for _, f := range v.files {
+		need := f.allocated
+		if need == 0 {
+			continue
+		}
+		for _, r := range f.runs {
+			v.rc.Free(r)
+			v.drive.ClearOwner(r)
+		}
+		v.rc.CommitLog()
+		f.runs = f.runs[:0]
+		f.allocated = 0
+		var seq int64
+		for got := int64(0); got < need; {
+			n := min(stripeClusters, need-got)
+			runs, err := v.rc.Alloc(n)
+			if err != nil {
+				panic("fs: ShatterFiles ran out of space")
+			}
+			for _, r := range runs {
+				v.drive.WriteRun(r, f.tag, seq, nil)
+				seq += r.Len
+			}
+			f.appendRuns(runs)
+			got += n
+			// A spacer keeps the next stripe from landing adjacent.
+			if sp, err := v.rc.Alloc(stripeClusters); err == nil {
+				for _, r := range sp {
+					spacers = append(spacers, sfRun{r.Start, r.Len})
+				}
+			}
+		}
+	}
+	for _, s := range spacers {
+		v.rc.Free(extRun(s.start, s.len))
+	}
+	v.rc.CommitLog()
+	var frags, n int
+	for _, f := range v.files {
+		frags += f.Fragments()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(frags) / float64(n)
+}
+
+type sfRun struct{ start, len int64 }

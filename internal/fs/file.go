@@ -1,0 +1,335 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/extent"
+	"repro/internal/units"
+)
+
+// File is a named stream of bytes stored as a list of cluster runs, like
+// an NTFS non-resident attribute. A File handle stays valid until the file
+// is deleted or replaced.
+type File struct {
+	vol  *Volume
+	name string
+	tag  uint32
+
+	size      int64        // logical length in bytes
+	runs      []extent.Run // allocated extents in logical order
+	allocated int64        // clusters allocated (== sum of runs)
+
+	// Delayed-allocation state: bytes buffered but not yet allocated.
+	buffered int64
+	open     bool // true while the file accepts appends
+
+	// sizeHint, when set via SetSizeHint before the first append, lets
+	// the allocator see the final size — the interface change the paper
+	// proposes in §6.
+	sizeHint int64
+
+	// data holds the file's contents when the drive retains payloads
+	// (integrity tests); delayedData buffers appended bytes under
+	// delayed allocation.
+	data        []byte
+	delayedData []byte
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the logical file size in bytes, including buffered bytes.
+func (f *File) Size() int64 { return f.size + f.buffered }
+
+// Runs returns a copy of the file's extent list.
+func (f *File) Runs() []extent.Run {
+	out := make([]extent.Run, len(f.runs))
+	copy(out, f.runs)
+	return out
+}
+
+// Fragments returns the number of discontiguous extents storing the file.
+// A contiguous file has 1 fragment (paper, Figure 2 caption).
+func (f *File) Fragments() int { return len(f.runs) }
+
+// Tag returns the owner tag the file's clusters carry on disk.
+func (f *File) Tag() uint32 { return f.tag }
+
+// tailCluster returns the last allocated cluster, or -1.
+func (f *File) tailCluster() int64 {
+	if len(f.runs) == 0 {
+		return -1
+	}
+	return f.runs[len(f.runs)-1].End() - 1
+}
+
+// appendRuns adds newly allocated runs to the extent list, merging when
+// physically contiguous so Fragments() reflects on-disk layout.
+func (f *File) appendRuns(runs []extent.Run) {
+	for _, r := range runs {
+		if n := len(f.runs); n > 0 && f.runs[n-1].End() == r.Start {
+			f.runs[n-1].Len += r.Len
+		} else {
+			f.runs = append(f.runs, r)
+		}
+		f.allocated += r.Len
+	}
+}
+
+// Create makes a new empty file open for appends. It charges the create
+// CPU cost and an MFT record write.
+func (v *Volume) Create(name string) (*File, error) {
+	if _, ok := v.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	v.drive.ChargeCPU(v.cfg.CreateCPUUs)
+	f := &File{vol: v, name: name, tag: v.nextTag, open: true}
+	v.nextTag++
+	v.files[name] = f
+	v.metadataWrite(f.tag)
+	v.indexGrow()
+	v.statCreates++
+	v.noteMetadataOp()
+	return f, nil
+}
+
+// SetSizeHint declares the file's final size before data arrives, letting
+// the allocator reserve contiguous space up front. It must be called
+// before the first append. This is the allocation-interface extension the
+// paper argues for: "There is no way to pass the (known) object size to
+// the file system at file creation" (§5.4).
+func (f *File) SetSizeHint(size int64) error {
+	if f.size > 0 || f.allocated > 0 || f.buffered > 0 {
+		return fmt.Errorf("fs: size hint after data was written to %s", f.name)
+	}
+	f.sizeHint = size
+	return nil
+}
+
+// Append writes len(dataOrNil) bytes — or n bytes when data is nil — to
+// the end of the file. Each call is one write request: without delayed
+// allocation, space for exactly this request is allocated now, which is
+// why the write-request size shapes long-term fragmentation (§5.3, §5.4).
+func (f *File) Append(n int64, data []byte) error {
+	if !f.open {
+		return fmt.Errorf("%w: %s", ErrClosed, f.name)
+	}
+	if data != nil {
+		n = int64(len(data))
+	}
+	if n <= 0 {
+		return fmt.Errorf("fs: empty append to %s", f.name)
+	}
+	v := f.vol
+	if v.cfg.DelayedAllocation {
+		// Buffer only; allocation happens at Close with the size known.
+		f.buffered += n
+		if data != nil {
+			f.delayedData = append(f.delayedData, data...)
+		}
+		return nil
+	}
+	return f.appendAllocated(n, data)
+}
+
+// appendAllocated performs an immediate-allocation append.
+func (f *File) appendAllocated(n int64, data []byte) error {
+	v := f.vol
+	cs := v.ClusterSize()
+	newSize := f.size + n
+	needClusters := units.CeilDiv(newSize, cs) - f.allocated
+	if needClusters > 0 {
+		want := needClusters
+		// With a size hint and no allocation yet, request the whole
+		// object's worth of clusters in one go.
+		if f.sizeHint > newSize && f.allocated == 0 {
+			want = units.CeilDiv(f.sizeHint, cs)
+		}
+		runs, err := v.rc.AllocAppend(want, f.tailCluster())
+		if err != nil {
+			return fmt.Errorf("%w: appending %d bytes to %s", ErrNoSpace, n, f.name)
+		}
+		f.writeNewRuns(runs, data)
+		f.appendRuns(runs)
+	} else {
+		// Fits in the slack of the last cluster; charge a rewrite of it.
+		tail := f.tailCluster()
+		v.drive.WriteRun(extent.Run{Start: tail, Len: 1}, f.tag, f.allocated-1, nil)
+	}
+	f.size = newSize
+	f.storeData(data)
+	return nil
+}
+
+// writeNewRuns issues the disk writes for freshly allocated runs, with
+// owner tags carrying the object-relative cluster sequence.
+func (f *File) writeNewRuns(runs []extent.Run, data []byte) {
+	seq := f.allocated
+	for _, r := range runs {
+		f.vol.drive.WriteRun(r, f.tag, seq, nil)
+		seq += r.Len
+	}
+	_ = data // payload retention is handled by storeData in data mode
+}
+
+// Close ends the append phase. Under delayed allocation this is where
+// space is allocated — in a single request sized to the full buffered
+// length, the behaviour that "trade[s] system memory ... for improved
+// information about the object's final size" (§5.4).
+func (f *File) Close() error {
+	if !f.open {
+		return nil
+	}
+	v := f.vol
+	if f.buffered > 0 {
+		n := f.buffered
+		data := f.delayedData
+		f.buffered = 0
+		f.delayedData = nil
+		if err := f.appendAllocated(n, data); err != nil {
+			return err
+		}
+	}
+	f.open = false
+	// Final MFT update records the true size and extent list.
+	v.metadataWrite(f.tag)
+	v.noteMetadataOp()
+	return nil
+}
+
+// Open looks a file up by name, charging the open cost (CPU plus an MFT
+// record read). The returned handle supports reads.
+func (v *Volume) Open(name string) (*File, error) {
+	f, ok := v.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	v.drive.ChargeCPU(v.cfg.OpenCPUUs)
+	v.metadataRead(f.tag)
+	v.statOpens++
+	return f, nil
+}
+
+// Lookup returns the file without charging open costs. For analysis tools.
+func (v *Volume) Lookup(name string) (*File, bool) {
+	f, ok := v.files[name]
+	return f, ok
+}
+
+// ReadAll reads the whole file, charging a seek per fragment — the paper's
+// core cost mechanism. When the drive retains payloads the file contents
+// are returned; otherwise nil.
+func (f *File) ReadAll() []byte {
+	for _, r := range f.runs {
+		f.vol.drive.ReadRun(r)
+	}
+	if f.vol.dataMode() {
+		out := make([]byte, len(f.data))
+		copy(out, f.data)
+		return out
+	}
+	return nil
+}
+
+// ReadAt reads length bytes starting at off, touching only the runs that
+// cover the range.
+func (f *File) ReadAt(off, length int64) error {
+	if off < 0 || off+length > f.size {
+		return fmt.Errorf("fs: read [%d,+%d) beyond size %d of %s", off, length, f.size, f.name)
+	}
+	cs := f.vol.ClusterSize()
+	firstC := off / cs
+	lastC := (off + length - 1) / cs
+	var pos int64
+	for _, r := range f.runs {
+		rFirst, rLast := pos, pos+r.Len-1
+		pos += r.Len
+		if rLast < firstC || rFirst > lastC {
+			continue
+		}
+		lo := max(firstC, rFirst)
+		hi := min(lastC, rLast)
+		f.vol.drive.ReadRun(extent.Run{Start: r.Start + (lo - rFirst), Len: hi - lo + 1})
+	}
+	return nil
+}
+
+// Delete removes a file. Its clusters are quarantined until the next log
+// flush — the NTFS behaviour that defers reuse of freed space (§2).
+func (v *Volume) Delete(name string) error {
+	f, ok := v.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	v.drive.ChargeCPU(v.cfg.DeleteCPUUs)
+	for _, r := range f.runs {
+		v.rc.Free(r)
+		v.drive.ClearOwner(r)
+	}
+	v.clearData(f)
+	delete(v.files, name)
+	v.metadataWrite(f.tag)
+	v.indexShrink()
+	v.statDeletes++
+	v.noteMetadataOp()
+	f.runs = nil
+	f.allocated = 0
+	f.open = false
+	return nil
+}
+
+// Rename atomically renames oldName to newName, replacing any existing
+// file at newName (the ReplaceFile/rename(2) semantics safe writes rely
+// on, §4).
+func (v *Volume) Rename(oldName, newName string) error {
+	f, ok := v.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldName)
+	}
+	v.drive.ChargeCPU(v.cfg.RenameCPUUs)
+	if _, exists := v.files[newName]; exists {
+		if err := v.Delete(newName); err != nil {
+			return err
+		}
+	}
+	delete(v.files, oldName)
+	f.name = newName
+	v.files[newName] = f
+	v.metadataWrite(f.tag)
+	// ReplaceFile rewrites both directory entries; the index B-tree churn
+	// cycles another buffer through general free space.
+	v.indexShrink()
+	v.indexGrow()
+	v.noteMetadataOp()
+	return nil
+}
+
+// Names returns all live file names in arbitrary order.
+func (v *Volume) Names() []string {
+	out := make([]string, 0, len(v.files))
+	for n := range v.files {
+		out = append(out, n)
+	}
+	return out
+}
+
+// EachFile calls fn for every live file.
+func (v *Volume) EachFile(fn func(*File)) {
+	for _, f := range v.files {
+		fn(f)
+	}
+}
+
+// dataMode reports whether the drive retains payload bytes.
+func (v *Volume) dataMode() bool { return v.drive.Mode() == disk.DataMode }
+
+// storeData appends payload bytes to the file's retained contents.
+func (f *File) storeData(data []byte) {
+	if data != nil && f.vol.dataMode() {
+		f.data = append(f.data, data...)
+	}
+}
+
+// clearData drops retained contents on delete.
+func (v *Volume) clearData(f *File) { f.data = nil }

@@ -1,0 +1,267 @@
+// Package fs implements the filesystem substrate of the comparison — an
+// NTFS analog with the specific behaviours the paper identifies as driving
+// its fragmentation results:
+//
+//   - extent-based files whose space comes from a run cache ordered by
+//     decreasing size and offset, with outer-band preference (§2);
+//   - space allocated per append request, before the final file size is
+//     known — the root cause of the paper's surprising constant-size
+//     fragmentation result (§5.4);
+//   - aggressive contiguous extension when sequential appends are
+//     detected (§5.4);
+//   - freed space quarantined until the transactional log commits (§2);
+//   - safe writes: write temp file, force, atomically replace (§4);
+//   - an MFT-style metadata zone, so opens and creates move the head;
+//   - optional delayed allocation and size hints — the interface changes
+//     the paper proposes (§5.4, §6) — plus an online defragmenter like
+//     the Windows utility (§3.4).
+//
+// All byte-level bookkeeping is deterministic and driven by the shared
+// virtual clock through the disk model.
+package fs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/disk"
+	"repro/internal/extent"
+	"repro/internal/units"
+)
+
+// Errors returned by volume operations.
+var (
+	ErrExist    = errors.New("fs: file exists")
+	ErrNotExist = errors.New("fs: file does not exist")
+	ErrNoSpace  = errors.New("fs: no space on volume")
+	ErrClosed   = errors.New("fs: file is closed for appends")
+)
+
+// Config describes a volume. Zero-value fields take defaults from
+// DefaultConfig.
+type Config struct {
+	// Capacity is the volume size in bytes.
+	Capacity int64
+
+	// BandFrac is the fraction of the volume treated as a preferred
+	// outer allocation band for file data. NTFS "uses a 'banded'
+	// allocation strategy for metadata, but not for file contents" (§2),
+	// so the default is 0 (no data banding); the MFT zone is reserved
+	// separately via MetadataFrac.
+	BandFrac float64
+
+	// MetadataFrac is the fraction of the volume reserved for the MFT
+	// zone (file records).
+	MetadataFrac float64
+
+	// LogFlushOps is the number of metadata operations (deletes,
+	// renames) between transactional log commits. Freed space becomes
+	// reusable only at a commit.
+	LogFlushOps int
+
+	// DelayedAllocation buffers appended bytes in memory and allocates
+	// space only when the file is closed, with the final size known —
+	// the XFS/realloc behaviour from §3.4.
+	DelayedAllocation bool
+
+	// Per-operation host CPU charges, microseconds. These model the
+	// folklore costs in §3.1: "file opens are CPU expensive".
+	OpenCPUUs   float64
+	CreateCPUUs float64
+	DeleteCPUUs float64
+	RenameCPUUs float64
+}
+
+// DefaultConfig returns the configuration used across the benchmark
+// harness for a volume of the given byte capacity.
+func DefaultConfig(capacity int64) Config {
+	return Config{
+		Capacity:     capacity,
+		BandFrac:     0,
+		MetadataFrac: 0.01,
+		LogFlushOps:  16,
+		OpenCPUUs:    12000, // SMB/UNC-path open cost, per §4.1's networked structure
+		CreateCPUUs:  3000,
+		DeleteCPUUs:  1000,
+		RenameCPUUs:  1000,
+	}
+}
+
+// Volume is a mounted filesystem on a simulated drive. Not safe for
+// concurrent use.
+type Volume struct {
+	cfg   Config
+	drive *disk.Drive
+	rc    *alloc.RunCache
+
+	files   map[string]*File
+	nextTag uint32
+
+	metaStart int64 // first cluster of the MFT zone
+	metaLen   int64 // clusters in the MFT zone
+
+	opsSinceFlush int
+	statCreates   int64
+	statDeletes   int64
+	statOpens     int64
+	statFlushes   int64
+
+	// indexBufs holds directory index-allocation buffers. NTFS stores
+	// large directory B-trees in INDEX_ALLOCATION buffers taken from the
+	// volume's general free space; entries come and go as files are
+	// created and deleted. The effect on the data pool — a steady
+	// trickle of small allocations and frees that shave free runs off
+	// object-size alignment — is one reason constant-size objects still
+	// fragment (§5.4).
+	indexBufs []extent.Run
+}
+
+// Format creates a fresh volume on the drive.
+func Format(drive *disk.Drive, cfg Config) *Volume {
+	def := DefaultConfig(drive.Capacity())
+	if cfg.Capacity == 0 {
+		cfg.Capacity = def.Capacity
+	}
+	if cfg.BandFrac == 0 {
+		cfg.BandFrac = def.BandFrac
+	}
+	if cfg.MetadataFrac == 0 {
+		cfg.MetadataFrac = def.MetadataFrac
+	}
+	if cfg.LogFlushOps == 0 {
+		cfg.LogFlushOps = def.LogFlushOps
+	}
+	if cfg.OpenCPUUs == 0 {
+		cfg.OpenCPUUs = def.OpenCPUUs
+	}
+	if cfg.CreateCPUUs == 0 {
+		cfg.CreateCPUUs = def.CreateCPUUs
+	}
+	if cfg.DeleteCPUUs == 0 {
+		cfg.DeleteCPUUs = def.DeleteCPUUs
+	}
+	if cfg.RenameCPUUs == 0 {
+		cfg.RenameCPUUs = def.RenameCPUUs
+	}
+
+	clusters := drive.Geometry().Clusters
+	v := &Volume{
+		cfg:     cfg,
+		drive:   drive,
+		rc:      alloc.NewRunCache(clusters, cfg.BandFrac),
+		files:   make(map[string]*File),
+		nextTag: 1,
+	}
+	// Reserve the MFT zone. On an empty volume this carves the lowest
+	// clusters, matching NTFS placing the MFT ahead of early file data.
+	v.metaLen = int64(float64(clusters) * cfg.MetadataFrac)
+	if v.metaLen < 1 {
+		v.metaLen = 1
+	}
+	runs, err := v.rc.Alloc(v.metaLen)
+	if err != nil || len(runs) != 1 || runs[0].Start != 0 {
+		panic(fmt.Sprintf("fs: metadata zone reservation failed: %v %v", runs, err))
+	}
+	v.metaStart = runs[0].Start
+	return v
+}
+
+// Drive returns the underlying drive.
+func (v *Volume) Drive() *disk.Drive { return v.drive }
+
+// ClusterSize returns the volume's cluster size in bytes.
+func (v *Volume) ClusterSize() int64 { return v.drive.Geometry().ClusterSize }
+
+// FreeBytes reports immediately allocatable space.
+func (v *Volume) FreeBytes() int64 { return v.rc.FreeClusters() * v.ClusterSize() }
+
+// TotalFreeBytes reports allocatable plus log-quarantined space.
+func (v *Volume) TotalFreeBytes() int64 { return v.rc.TotalFree() * v.ClusterSize() }
+
+// CapacityBytes reports the data capacity (volume minus metadata zone).
+func (v *Volume) CapacityBytes() int64 {
+	return (v.drive.Geometry().Clusters - v.metaLen) * v.ClusterSize()
+}
+
+// FileCount returns the number of live files.
+func (v *Volume) FileCount() int { return len(v.files) }
+
+// mftCluster deterministically places a file record inside the MFT zone.
+func (v *Volume) mftCluster(tag uint32) int64 {
+	return v.metaStart + int64(tag)%v.metaLen
+}
+
+// metadataWrite charges an MFT record update for the file tag.
+func (v *Volume) metadataWrite(tag uint32) {
+	v.drive.WriteRun(extent.Run{Start: v.mftCluster(tag), Len: 1}, 0, 0, nil)
+}
+
+// metadataRead charges an MFT record lookup for the file tag.
+func (v *Volume) metadataRead(tag uint32) {
+	v.drive.ReadRun(extent.Run{Start: v.mftCluster(tag), Len: 1})
+}
+
+// noteMetadataOp counts a metadata mutation toward the periodic log flush.
+func (v *Volume) noteMetadataOp() {
+	v.opsSinceFlush++
+	if v.opsSinceFlush >= v.cfg.LogFlushOps {
+		v.FlushLog()
+	}
+}
+
+// indexGrow allocates one directory index buffer from general free space.
+// No disk time is charged: index buffers live in the cache and reach disk
+// through the lazy writer, amortized into the periodic log flush.
+func (v *Volume) indexGrow() {
+	runs, err := v.rc.AllocAppend(1, -1)
+	if err != nil {
+		return // directory reuses a cached buffer under pressure
+	}
+	v.indexBufs = append(v.indexBufs, runs...)
+}
+
+// indexShrink releases the oldest directory index buffer.
+func (v *Volume) indexShrink() {
+	if len(v.indexBufs) == 0 {
+		return
+	}
+	r := v.indexBufs[0]
+	v.indexBufs = v.indexBufs[1:]
+	v.rc.Free(r)
+}
+
+// FlushLog commits the transactional log: quarantined freed space becomes
+// allocatable. A small sequential log write is charged.
+func (v *Volume) FlushLog() {
+	v.rc.CommitLog()
+	v.opsSinceFlush = 0
+	v.statFlushes++
+	// The log lives in the metadata zone; charge one cluster write.
+	v.drive.WriteRun(extent.Run{Start: v.metaStart, Len: 1}, 0, 0, nil)
+}
+
+// Stats reports operation counters.
+type Stats struct {
+	Creates, Deletes, Opens, LogFlushes int64
+	FreeRunCount                        int
+	PendingBytes                        int64
+}
+
+// Stats returns volume counters.
+func (v *Volume) Stats() Stats {
+	return Stats{
+		Creates:      v.statCreates,
+		Deletes:      v.statDeletes,
+		Opens:        v.statOpens,
+		LogFlushes:   v.statFlushes,
+		FreeRunCount: v.rc.RunCount(),
+		PendingBytes: v.rc.PendingClusters() * v.ClusterSize(),
+	}
+}
+
+// String summarises the volume.
+func (v *Volume) String() string {
+	return fmt.Sprintf("fs volume: %s capacity, %s free, %d files",
+		units.FormatBytes(v.CapacityBytes()), units.FormatBytes(v.FreeBytes()), len(v.files))
+}

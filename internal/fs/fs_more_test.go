@@ -1,0 +1,217 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/extent"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func TestAppendToClosedFile(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	f.Append(64*units.KB, nil)
+	f.Close()
+	if err := f.Append(64*units.KB, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAppendRejected(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	if err := f.Append(0, nil); err == nil {
+		t.Fatal("zero append succeeded")
+	}
+	if err := f.Append(-5, nil); err == nil {
+		t.Fatal("negative append succeeded")
+	}
+}
+
+func TestSizeHintAfterDataFails(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	f.Append(4*units.KB, nil)
+	if err := f.SetSizeHint(1 * units.MB); err == nil {
+		t.Fatal("late size hint accepted")
+	}
+}
+
+func TestSubClusterAppendsShareCluster(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	// Four 1KB appends fit one 4KB cluster.
+	for i := 0; i < 4; i++ {
+		if err := f.Append(1*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if f.Size() != 4*units.KB {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if got := extent.SumLen(f.Runs()); got != 1 {
+		t.Fatalf("allocated %d clusters, want 1", got)
+	}
+}
+
+func TestReadAtChargesOnlyCoveringRuns(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	f.Append(1*units.MB, nil)
+	f.Close()
+	v.Drive().ResetStats()
+	if err := f.ReadAt(0, 4*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	s := v.Drive().Stats()
+	if s.BytesRead > 8*units.KB {
+		t.Fatalf("4KB read touched %d bytes", s.BytesRead)
+	}
+}
+
+func TestReadAllCountsOneRequestPerFragment(t *testing.T) {
+	v := newVolume(32*units.MB, disk.MetadataMode)
+	// Shatter free space so a file fragments.
+	var names []string
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("f%d", i)
+		f, err := v.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Append(128*units.KB, nil); err != nil {
+			v.Delete(name)
+			break
+		}
+		f.Close()
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i += 2 {
+		v.Delete(names[i])
+	}
+	v.FlushLog()
+	g, _ := v.Create("frag")
+	g.Append(512*units.KB, nil)
+	g.Close()
+	if g.Fragments() < 2 {
+		t.Skip("did not fragment")
+	}
+	v.Drive().ResetStats()
+	g.ReadAll()
+	if got := int(v.Drive().Stats().Reads); got != g.Fragments() {
+		t.Fatalf("ReadAll issued %d requests for %d fragments", got, g.Fragments())
+	}
+}
+
+func TestLogFlushCadence(t *testing.T) {
+	d := disk.New(disk.DefaultGeometry(64*units.MB), vclock.New(), disk.MetadataMode)
+	v := Format(d, Config{LogFlushOps: 4})
+	for i := 0; i < 12; i++ { // create+close = 2 metadata ops each
+		f, _ := v.Create(fmt.Sprintf("f%d", i))
+		f.Append(4*units.KB, nil)
+		f.Close()
+	}
+	if got := v.Stats().LogFlushes; got < 4 {
+		t.Fatalf("expected >= 4 log flushes, got %d", got)
+	}
+}
+
+func TestMetadataZoneNotUsedForData(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	f.Append(4*units.MB, nil)
+	f.Close()
+	for _, r := range f.Runs() {
+		if r.Start < v.metaStart+v.metaLen {
+			t.Fatalf("file data run %v inside the MFT zone [0,%d)", r, v.metaLen)
+		}
+	}
+}
+
+func TestRecoverFlushesLog(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	v.SafeWrite("a", 1*units.MB, nil, SafeWriteOptions{})
+	free := v.FreeBytes()
+	v.Delete("a")
+	if v.FreeBytes() != free {
+		// Deletion quarantined; Recover must release it.
+		v.Recover()
+		if v.FreeBytes() <= free {
+			t.Fatal("Recover did not flush the log")
+		}
+	}
+}
+
+func TestDefragmentBudget(t *testing.T) {
+	v := newVolume(32*units.MB, disk.MetadataMode)
+	for i := 0; i < 8; i++ {
+		f, _ := v.Create(fmt.Sprintf("f%d", i))
+		f.Append(1*units.MB, nil)
+		f.Close()
+	}
+	v.ShatterFiles(16)
+	rep := v.Defragment(2 * units.MB) // budget covers ~2 files
+	if rep.FilesMoved > 3 {
+		t.Fatalf("budget ignored: moved %d files", rep.FilesMoved)
+	}
+	if rep.FilesExamined != 8 {
+		t.Fatalf("examined %d", rep.FilesExamined)
+	}
+}
+
+func TestVolumeStringer(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	if s := v.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSafeWriteZeroSizeRejected(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	if err := v.SafeWrite("a", 0, nil, SafeWriteOptions{}); err == nil {
+		t.Fatal("zero-size safe write succeeded")
+	}
+	if err := v.SafeWrite("a", 100, []byte{1, 2}, SafeWriteOptions{}); err == nil {
+		t.Fatal("mismatched data length accepted")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	if err := v.Delete("ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := v.Rename("ghost", "other"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename err = %v", err)
+	}
+}
+
+func TestIndexBufferChurnBalanced(t *testing.T) {
+	// Steady create/delete churn must not leak index buffers.
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	for i := 0; i < 50; i++ {
+		f, _ := v.Create(fmt.Sprintf("f%d", i))
+		f.Append(64*units.KB, nil)
+		f.Close()
+	}
+	buffersAt50 := len(v.indexBufs)
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("g%d", i)
+		f, _ := v.Create(name)
+		f.Append(64*units.KB, nil)
+		f.Close()
+		v.Delete(name)
+	}
+	if got := len(v.indexBufs); got > buffersAt50+2 {
+		t.Fatalf("index buffers leaked: %d -> %d", buffersAt50, got)
+	}
+}

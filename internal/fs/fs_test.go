@@ -1,0 +1,476 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func newVolume(capacity int64, mode disk.Mode) *Volume {
+	d := disk.New(disk.DefaultGeometry(capacity), vclock.New(), mode)
+	return Format(d, Config{Capacity: capacity})
+}
+
+func fillBytes(n int64, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(seed) + i%97)
+	}
+	return b
+}
+
+func TestCreateAppendRead(t *testing.T) {
+	v := newVolume(256*units.MB, disk.DataMode)
+	f, err := v.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fillBytes(100*units.KB, 1)
+	if err := f.Append(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 100*units.KB {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	g, err := v.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ReadAll(); !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	if _, err := v.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Create("a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	if _, err := v.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeleteFreesSpaceAfterLogFlush(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	before := v.FreeBytes()
+	f, _ := v.Create("a")
+	if err := f.Append(1*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if v.FreeBytes() >= before {
+		t.Fatal("append did not consume space")
+	}
+	if err := v.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Space is quarantined until the log flush.
+	if v.TotalFreeBytes() != before {
+		t.Fatalf("TotalFree = %d, want %d", v.TotalFreeBytes(), before)
+	}
+	v.FlushLog()
+	if v.FreeBytes() != before {
+		t.Fatalf("Free after flush = %d, want %d", v.FreeBytes(), before)
+	}
+	if _, err := v.Open("a"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("deleted file still opens")
+	}
+}
+
+func TestSequentialAppendsContiguous(t *testing.T) {
+	v := newVolume(256*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	for i := 0; i < 16; i++ { // 16 x 64KB requests
+		if err := f.Append(64*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if f.Fragments() != 1 {
+		t.Fatalf("sequential appends produced %d fragments, want 1", f.Fragments())
+	}
+}
+
+func TestFragmentsWhenFreeSpaceShattered(t *testing.T) {
+	v := newVolume(16*units.MB, disk.MetadataMode)
+	// Fill the volume with small files, delete every other one, flush.
+	var names []string
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("f%d", i)
+		f, err := v.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Append(256*units.KB, nil); err != nil {
+			v.Delete(name)
+			break
+		}
+		f.Close()
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i += 2 {
+		if err := v.Delete(names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.FlushLog()
+	// A 1MB object can now only be stored fragmented.
+	g, err := v.Create("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append(1*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if g.Fragments() < 2 {
+		t.Fatalf("expected fragmentation, got %d fragments", g.Fragments())
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	f, _ := v.Create("a")
+	f.Append(1*units.MB, nil)
+	f.Close()
+	if err := f.ReadAt(512*units.KB, 64*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadAt(900*units.KB, 200*units.KB); err == nil {
+		t.Fatal("read past EOF succeeded")
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	a, _ := v.Create("a")
+	a.Append(64*units.KB, nil)
+	a.Close()
+	b, _ := v.Create("b")
+	b.Append(128*units.KB, nil)
+	b.Close()
+	if err := v.Rename("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 128*units.KB {
+		t.Fatalf("rename did not replace: size %d", got.Size())
+	}
+	if _, err := v.Open("b"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("old name still present")
+	}
+}
+
+func TestSafeWriteBasic(t *testing.T) {
+	v := newVolume(64*units.MB, disk.DataMode)
+	data1 := fillBytes(256*units.KB, 1)
+	if err := v.SafeWrite("obj", int64(len(data1)), data1, SafeWriteOptions{WriteRequestSize: 64 * units.KB}); err != nil {
+		t.Fatal(err)
+	}
+	data2 := fillBytes(256*units.KB, 2)
+	if err := v.SafeWrite("obj", int64(len(data2)), data2, SafeWriteOptions{WriteRequestSize: 64 * units.KB}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := v.Open("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ReadAll(); !bytes.Equal(got, data2) {
+		t.Fatal("safe write did not replace contents")
+	}
+	if v.FileCount() != 1 {
+		t.Fatalf("FileCount = %d, want 1 (no temp leak)", v.FileCount())
+	}
+}
+
+func TestSafeWriteCrashPreservesOldVersion(t *testing.T) {
+	for _, cp := range []CrashPoint{CrashAfterCreate, CrashAfterWrite} {
+		v := newVolume(64*units.MB, disk.DataMode)
+		old := fillBytes(128*units.KB, 9)
+		if err := v.SafeWrite("obj", int64(len(old)), old, SafeWriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		newData := fillBytes(128*units.KB, 10)
+		err := v.SafeWrite("obj", int64(len(newData)), newData, SafeWriteOptions{Crash: cp})
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash point %d: err = %v", cp, err)
+		}
+		v.Recover()
+		f, err := v.Open("obj")
+		if err != nil {
+			t.Fatalf("crash point %d: old version lost: %v", cp, err)
+		}
+		if got := f.ReadAll(); !bytes.Equal(got, old) {
+			t.Fatalf("crash point %d: old contents corrupted", cp)
+		}
+		if v.FileCount() != 1 {
+			t.Fatalf("crash point %d: temp file leaked", cp)
+		}
+	}
+}
+
+func TestSafeWriteCrashAfterRenameKeepsNewVersion(t *testing.T) {
+	v := newVolume(64*units.MB, disk.DataMode)
+	old := fillBytes(64*units.KB, 1)
+	v.SafeWrite("obj", int64(len(old)), old, SafeWriteOptions{})
+	newData := fillBytes(64*units.KB, 2)
+	err := v.SafeWrite("obj", int64(len(newData)), newData, SafeWriteOptions{Crash: CrashAfterRename})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	v.Recover()
+	f, _ := v.Open("obj")
+	if got := f.ReadAll(); !bytes.Equal(got, newData) {
+		t.Fatal("new version lost after its commit point")
+	}
+}
+
+func TestSafeWriteRetryAfterCrash(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	v.SafeWrite("obj", 64*units.KB, nil, SafeWriteOptions{})
+	// Crash leaves a temp file; a retry without Recover must still work.
+	v.SafeWrite("obj", 64*units.KB, nil, SafeWriteOptions{Crash: CrashAfterWrite})
+	if err := v.SafeWrite("obj", 64*units.KB, nil, SafeWriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if v.FileCount() != 1 {
+		t.Fatalf("FileCount = %d", v.FileCount())
+	}
+}
+
+func TestSizeHintReducesFragmentation(t *testing.T) {
+	// Shatter free space, then write an object with and without the hint.
+	mk := func() *Volume {
+		v := newVolume(32*units.MB, disk.MetadataMode)
+		var names []string
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("f%d", i)
+			f, err := v.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Append(128*units.KB, nil); err != nil {
+				v.Delete(name)
+				break
+			}
+			f.Close()
+			names = append(names, name)
+		}
+		// Delete a contiguous band comfortably bigger than one 1MB object
+		// (directory index buffers may shave a few clusters off it), plus
+		// scattered holes elsewhere.
+		for i := 0; i < 12; i++ {
+			v.Delete(names[40+i])
+		}
+		for i := 0; i < len(names); i += 7 {
+			if i < 40 || i >= 52 {
+				v.Delete(names[i])
+			}
+		}
+		v.FlushLog()
+		return v
+	}
+
+	v1 := mk()
+	f1, _ := v1.Create("nohint")
+	for off := int64(0); off < 1*units.MB; off += 64 * units.KB {
+		if err := f1.Append(64*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1.Close()
+
+	v2 := mk()
+	f2, _ := v2.Create("hint")
+	f2.SetSizeHint(1 * units.MB)
+	for off := int64(0); off < 1*units.MB; off += 64 * units.KB {
+		if err := f2.Append(64*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f2.Close()
+
+	// The hint lets the allocator size the first request to the whole
+	// object; it cannot beat physical free-space fragmentation (directory
+	// index buffers interleave with file data), but it must do strictly
+	// better than growing 64KB at a time.
+	if f2.Fragments() >= f1.Fragments() {
+		t.Fatalf("size hint did not reduce fragments: hint=%d nohint=%d", f2.Fragments(), f1.Fragments())
+	}
+}
+
+func TestDelayedAllocationSingleExtent(t *testing.T) {
+	d := disk.New(disk.DefaultGeometry(64*units.MB), vclock.New(), disk.MetadataMode)
+	v := Format(d, Config{DelayedAllocation: true})
+	f, _ := v.Create("a")
+	for i := 0; i < 16; i++ {
+		f.Append(64*units.KB, nil)
+	}
+	if f.Fragments() != 0 {
+		t.Fatalf("delayed allocation allocated early: %d fragments", f.Fragments())
+	}
+	f.Close()
+	if f.Fragments() != 1 {
+		t.Fatalf("fragments after close = %d", f.Fragments())
+	}
+	if f.Size() != 1*units.MB {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+func TestDefragment(t *testing.T) {
+	v := newVolume(32*units.MB, disk.MetadataMode)
+	// Build a fragmented file via shattered free space.
+	var names []string
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("f%d", i)
+		f, err := v.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Append(64*units.KB, nil); err != nil {
+			v.Delete(name)
+			break
+		}
+		f.Close()
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i += 2 {
+		v.Delete(names[i])
+	}
+	v.FlushLog()
+	g, _ := v.Create("frag")
+	g.Append(512*units.KB, nil)
+	g.Close()
+	if g.Fragments() < 2 {
+		t.Skip("setup did not fragment; volume too empty")
+	}
+	// Delete more files so contiguous space exists for the move.
+	for i := 1; i < len(names); i += 2 {
+		v.Delete(names[i])
+	}
+	v.FlushLog()
+	rep := v.Defragment(0)
+	if rep.FilesMoved == 0 {
+		t.Fatal("defragmenter moved nothing")
+	}
+	if g.Fragments() != 1 {
+		t.Fatalf("file still has %d fragments", g.Fragments())
+	}
+	if rep.FragmentsAfter >= rep.FragmentsBefore {
+		t.Fatalf("report: before=%d after=%d", rep.FragmentsBefore, rep.FragmentsAfter)
+	}
+}
+
+func TestShatterFiles(t *testing.T) {
+	v := newVolume(32*units.MB, disk.MetadataMode)
+	for i := 0; i < 10; i++ {
+		f, _ := v.Create(fmt.Sprintf("f%d", i))
+		f.Append(1*units.MB, nil)
+		f.Close()
+	}
+	mean := v.ShatterFiles(16)
+	if mean < 2 {
+		t.Fatalf("ShatterFiles produced mean %g fragments", mean)
+	}
+	// Integrity: every file still has its full allocation.
+	v.EachFile(func(f *File) {
+		if f.allocated*v.ClusterSize() < f.size {
+			t.Fatalf("file %s under-allocated after shatter", f.Name())
+		}
+	})
+}
+
+func TestOutOfSpace(t *testing.T) {
+	v := newVolume(8*units.MB, disk.MetadataMode)
+	f, _ := v.Create("big")
+	err := f.Append(16*units.MB, nil)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSafeWriteChargesTime(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	before := v.Drive().Clock().Now()
+	v.SafeWrite("obj", 1*units.MB, nil, SafeWriteOptions{WriteRequestSize: 64 * units.KB})
+	if v.Drive().Clock().Now() == before {
+		t.Fatal("safe write advanced no virtual time")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	v.SafeWrite("a", 64*units.KB, nil, SafeWriteOptions{})
+	v.Open("a")
+	v.Delete("a")
+	s := v.Stats()
+	if s.Creates == 0 || s.Opens == 0 || s.Deletes == 0 {
+		t.Fatalf("counters not recorded: %+v", s)
+	}
+}
+
+// Property: random safe writes and deletes never corrupt contents and
+// never lose clusters.
+func TestQuickSafeWriteIntegrity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := newVolume(32*units.MB, disk.DataMode)
+		contents := map[string][]byte{}
+		for op := 0; op < 60; op++ {
+			name := fmt.Sprintf("o%d", rng.Intn(8))
+			switch rng.Intn(3) {
+			case 0, 1:
+				size := int64(rng.Intn(4)+1) * 32 * units.KB
+				data := make([]byte, size)
+				rng.Read(data)
+				err := v.SafeWrite(name, size, data, SafeWriteOptions{WriteRequestSize: 64 * units.KB})
+				if err != nil {
+					return false
+				}
+				contents[name] = data
+			case 2:
+				if _, ok := contents[name]; ok {
+					if v.Delete(name) != nil {
+						return false
+					}
+					delete(contents, name)
+				}
+			}
+		}
+		for name, want := range contents {
+			f, err := v.Open(name)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(f.ReadAll(), want) {
+				return false
+			}
+		}
+		return v.FileCount() == len(contents)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// shapeConfig is big enough for the paper's qualitative shapes to appear
+// but small enough for CI.
+func shapeConfig() Config {
+	return Config{
+		VolumeBytes: 2 * units.GB,
+		Occupancy:   0.5,
+		MaxAge:      8,
+		AgeStep:     2,
+		ReadSamples: 80,
+		Seed:        1,
+	}
+}
+
+func mustY(t *testing.T, s *stats.Series, x float64) float64 {
+	t.Helper()
+	y, ok := s.YAt(x)
+	if !ok {
+		t.Fatalf("series %q has no point at x=%g", s.Name, x)
+	}
+	return y
+}
+
+func findSeries(t *testing.T, tb *stats.Table, name string) *stats.Series {
+	t.Helper()
+	for _, s := range tb.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("table %q has no series %q", tb.Title, name)
+	return nil
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments) != 12 {
+		t.Fatalf("expected 12 experiments, have %d", len(Experiments))
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Fatalf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+	if len(IDs()) != len(Experiments) {
+		t.Fatal("IDs length mismatch")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tables, err := Table1(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tables[0].Render()
+	for _, want := range []string{"7200", "bulk-logged", "run cache", "storage age"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure2Shape asserts the paper's central qualitative result: the
+// database's fragmentation grows without an asymptote while the
+// filesystem stays far lower.
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	tables, err := Figure2(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := findSeries(t, tables[0], "Database")
+	fs := findSeries(t, tables[0], "Filesystem")
+
+	dbEarly, dbLate := mustY(t, db, 2), mustY(t, db, 8)
+	if dbLate < 2*dbEarly {
+		t.Errorf("database fragmentation not growing: age2=%.2f age8=%.2f", dbEarly, dbLate)
+	}
+	fsLate := mustY(t, fs, 8)
+	if fsLate >= dbLate/2 {
+		t.Errorf("filesystem (%.2f) should fragment far less than database (%.2f)", fsLate, dbLate)
+	}
+	// Monotone non-decreasing database curve (linear growth, §5.3).
+	for i := 1; i < len(db.Points); i++ {
+		if db.Points[i].Y < db.Points[i-1].Y-0.25 {
+			t.Errorf("database curve dipped at age %g: %.2f -> %.2f",
+				db.Points[i].X, db.Points[i-1].Y, db.Points[i].Y)
+		}
+	}
+}
+
+// TestFigure3Convergence asserts both systems converge toward ~4
+// fragments per 256 KB object — one per 64 KB write request.
+func TestFigure3Convergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	cfg := shapeConfig()
+	cfg.MaxAge = 10
+	tables, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Database", "Filesystem"} {
+		s := findSeries(t, tables[0], name)
+		last, _ := s.Last()
+		if last.Y < 1.5 || last.Y > 4.5 {
+			t.Errorf("%s converged to %.2f fragments/object, want ~2-4 (ceiling 4 = one per 64KB)", name, last.Y)
+		}
+	}
+}
+
+// TestFigure1BreakEven asserts the folklore on a clean store and the
+// break-even migration with age.
+func TestFigure1BreakEven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	cfg := shapeConfig()
+	tables, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, aged := tables[0], tables[2]
+	// Clean store: database wins at every size up to 1MB (Figure 1a).
+	for _, size := range []float64{256, 512, 1024} {
+		db := mustY(t, findSeries(t, bulk, "Database"), size)
+		fs := mustY(t, findSeries(t, bulk, "Filesystem"), size)
+		if db <= fs {
+			t.Errorf("bulk load at %gKB: database %.2f <= filesystem %.2f", size, db, fs)
+		}
+	}
+	// Aged store: filesystem catches or passes the database at 1MB.
+	db1M := mustY(t, findSeries(t, aged, "Database"), 1024)
+	fs1M := mustY(t, findSeries(t, aged, "Filesystem"), 1024)
+	if fs1M < db1M*0.95 {
+		t.Errorf("after four overwrites at 1MB: filesystem %.2f should rival database %.2f", fs1M, db1M)
+	}
+	// Aging hurts the database: age-4 throughput well below bulk-load.
+	dbBulk256 := mustY(t, findSeries(t, bulk, "Database"), 256)
+	dbAged256 := mustY(t, findSeries(t, aged, "Database"), 256)
+	if dbAged256 > 0.8*dbBulk256 {
+		t.Errorf("database 256KB read did not degrade with age: %.2f -> %.2f", dbBulk256, dbAged256)
+	}
+}
+
+// TestFigure4WriteThroughput asserts bulk-load writes favour the database
+// (17.7 vs 10.1 MB/s in the paper) and that its advantage shrinks with
+// age.
+func TestFigure4WriteThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	cfg := shapeConfig()
+	tables, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := findSeries(t, tables[0], "Database")
+	fs := findSeries(t, tables[0], "Filesystem")
+	dbBulk, fsBulk := mustY(t, db, 0), mustY(t, fs, 0)
+	if dbBulk <= fsBulk {
+		t.Errorf("bulk-load writes: database %.2f <= filesystem %.2f", dbBulk, fsBulk)
+	}
+	dbAged := mustY(t, db, 4)
+	fsAged := mustY(t, fs, 4)
+	dbDrop := dbBulk / dbAged
+	fsDrop := fsBulk / fsAged
+	if dbDrop <= fsDrop {
+		t.Errorf("database writes should degrade faster: db %.2fx vs fs %.2fx", dbDrop, fsDrop)
+	}
+}
+
+// TestPathologicalRecovery asserts the §5.3 observation: a pre-shattered
+// filesystem volume defragments over time.
+func TestPathologicalRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	tables, err := Pathological(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].Series[0]
+	first := s.Points[0].Y
+	last, _ := s.Last()
+	if first < 10 {
+		t.Fatalf("shatter too weak: started at %.1f fragments/object", first)
+	}
+	if last.Y >= first {
+		t.Errorf("fragmentation did not decrease: %.1f -> %.1f", first, last.Y)
+	}
+}
+
+// TestSizeHintAblation asserts the paper's proposed interface fixes
+// eliminate the fragmentation the stock interface causes.
+func TestSizeHintAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	tables, err := SizeHintAblation(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stock := findSeries(t, tables[0], "No hint (stock)")
+	hint := findSeries(t, tables[0], "Size hint")
+	delayed := findSeries(t, tables[0], "Delayed allocation")
+	sLast, _ := stock.Last()
+	hLast, _ := hint.Last()
+	dLast, _ := delayed.Last()
+	if hLast.Y >= sLast.Y || dLast.Y >= sLast.Y {
+		t.Errorf("hints did not help: stock=%.2f hint=%.2f delayed=%.2f", sLast.Y, hLast.Y, dLast.Y)
+	}
+}
+
+// TestInterleavedAppend asserts §6's prediction.
+func TestInterleavedAppend(t *testing.T) {
+	cfg := TestConfig()
+	tables, err := InterleavedAppend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].Series[0]
+	solo := mustY(t, s, 1)
+	interleaved := mustY(t, s, 8)
+	if solo != 1 {
+		t.Errorf("single stream should be contiguous, got %.2f", solo)
+	}
+	if interleaved <= 2*solo {
+		t.Errorf("interleaving should increase fragmentation: k=1 %.2f, k=8 %.2f", solo, interleaved)
+	}
+}
+
+// TestPolicyComparison sanity-checks the §3.2/§3.4 shoot-out: buddy never
+// fragments externally, and the deferred-reuse run cache fragments more
+// than the idealized policies.
+func TestPolicyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	cfg := shapeConfig()
+	cfg.VolumeBytes = 1 * units.GB
+	tables, err := PolicyComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buddy := findSeries(t, tables[0], "buddy")
+	rc := findSeries(t, tables[0], "ntfs-run-cache")
+	bf := findSeries(t, tables[0], "best-fit")
+	bLast, _ := buddy.Last()
+	if bLast.Y != 1 {
+		t.Errorf("buddy fragmented externally: %.2f", bLast.Y)
+	}
+	rcLast, _ := rc.Last()
+	bfLast, _ := bf.Last()
+	if rcLast.Y <= bfLast.Y {
+		t.Errorf("run cache with deferred reuse (%.2f) should fragment more than idealized best-fit (%.2f)", rcLast.Y, bfLast.Y)
+	}
+}
+
+// TestWriteRequestSweep asserts request size shapes database
+// fragmentation (§5.3-5.4): page-granular 16KB requests fragment more
+// than extent-sized 64KB ones.
+func TestWriteRequestSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	cfg := shapeConfig()
+	cfg.VolumeBytes = 1 * units.GB
+	tables, err := WriteRequestSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := findSeries(t, tables[0], "Database")
+	small := mustY(t, db, 16)
+	std := mustY(t, db, 64)
+	if small <= std {
+		t.Errorf("16KB requests (%.2f) should fragment more than 64KB (%.2f)", small, std)
+	}
+}
+
+// TestFigure5BothDistributionsFragment asserts the §5.4 surprise:
+// constant-size objects fragment too.
+func TestFigure5BothDistributionsFragment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	tables, err := Figure5(shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		for _, s := range tb.Series {
+			last, _ := s.Last()
+			if last.Y <= 1.05 {
+				t.Errorf("%s / %s shows no fragmentation (%.2f) — the §5.4 surprise is missing", tb.Title, s.Name, last.Y)
+			}
+		}
+	}
+}
+
+// TestFigure6Occupancy asserts higher occupancy fragments more on the
+// filesystem.
+func TestFigure6Occupancy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy aging run")
+	}
+	cfg := TestConfig()
+	cfg.VolumeBytes = 1 * units.GB
+	cfg.MaxAge = 6
+	cfg.AgeStep = 2
+	tables, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Figure6 returned %d tables", len(tables))
+	}
+	full := tables[2]
+	loose := findSeries(t, full, "90.0% full - 1G")
+	tight := findSeries(t, full, "97.5% full - 1G")
+	lLast, _ := loose.Last()
+	tLast, _ := tight.Last()
+	if tLast.Y < lLast.Y {
+		t.Errorf("97.5%% full (%.2f) should fragment at least as much as 90%% (%.2f)", tLast.Y, lLast.Y)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := TestConfig()
+	run := func() string {
+		tables, err := Figure4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables[0].CSV()
+	}
+	if run() != run() {
+		t.Fatal("experiment output not deterministic")
+	}
+}

@@ -1,0 +1,214 @@
+// Package stats provides the small statistics and table-rendering
+// helpers the benchmark harness uses to print paper-style figures as
+// text and CSV.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	P50  float64
+	P95  float64
+	Std  float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	variance := sumSq/float64(len(xs)) - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	return s
+}
+
+// percentile reads the p-quantile from sorted data using nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Point is one (x, y) observation of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points — one line of a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt returns the y value at the given x, or ok=false.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the final point of the series.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// Table renders labelled rows of figures, in the style of the paper's
+// chart data.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Series  []*Series
+	Notes   []string
+	Decimal int // y-value decimal places (default 2)
+}
+
+// NewTable creates a table with the given labels.
+func NewTable(title, xLabel, yLabel string) *Table {
+	return &Table{Title: title, XLabel: xLabel, YLabel: yLabel, Decimal: 2}
+}
+
+// AddSeries appends a named series and returns it for population.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// Note attaches a free-form annotation printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// xValues returns the union of x values across series, ascending.
+func (t *Table) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	dec := t.Decimal
+	if dec == 0 {
+		dec = 2
+	}
+	xs := t.xValues()
+	// Header.
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", t.YLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14s", trimFloat(x))
+		for _, s := range t.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, " %14.*f", dec, y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns the table in comma-separated form with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xValues() {
+		b.WriteString(trimFloat(x))
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok {
+				b.WriteString(trimFloat(y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.4f", f)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %g", s.P50)
+	}
+	if s.P95 != 5 {
+		t.Fatalf("p95 = %g", s.P95)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Fatalf("std = %g, want %g", s.Std, want)
+	}
+	if Summarize(nil) != (Summary{}) {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			// Keep magnitudes in a range where sum-of-squares cannot
+			// overflow; throughput/fragment values are always modest.
+			xs[i] = math.Mod(x, 1e6)
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s == Summary{}
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P50 && s.P50 <= s.Max && s.N == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt(2) = %g,%v", y, ok)
+	}
+	if _, ok := s.YAt(1); ok {
+		t.Fatal("YAt(1) should miss")
+	}
+	p, ok := s.Last()
+	if !ok || p.X != 2 {
+		t.Fatalf("Last = %+v", p)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure X", "Storage Age", "MB/sec")
+	db := tb.AddSeries("Database")
+	fs := tb.AddSeries("Filesystem")
+	db.Add(0, 10.5)
+	db.Add(2, 8.25)
+	fs.Add(0, 5)
+	fs.Add(4, 6)
+	tb.Note("test note %d", 42)
+	out := tb.Render()
+	for _, want := range []string{"Figure X", "Database", "Filesystem", "10.50", "8.25", "test note 42", "MB/sec"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// x=2 has no filesystem point: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for absent point")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "age", "y")
+	s := tb.AddSeries("a,b") // needs escaping
+	s.Add(1, 2.5)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != `age,"a,b"` {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[1] != "1,2.5" {
+		t.Fatalf("row: %q", lines[1])
+	}
+}
+
+func TestXValuesSortedUnion(t *testing.T) {
+	tb := NewTable("T", "x", "y")
+	a := tb.AddSeries("a")
+	b := tb.AddSeries("b")
+	a.Add(3, 1)
+	a.Add(1, 1)
+	b.Add(2, 1)
+	b.Add(1, 1)
+	xs := tb.xValues()
+	want := []float64{1, 2, 3}
+	if len(xs) != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("xs = %v", xs)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package trace implements trace-based load generation, the complement
+// the paper calls for: "Trace-based workload generation and a better
+// understanding of real-world large object workloads would complement
+// this study" (§5.4); §3.3 contrasts trace-based with the vector-based
+// generation package workload provides.
+//
+// A trace is a sequence of allocation events (§1's get/put operations)
+// in a line-oriented text format:
+//
+//	put <key> <size>
+//	replace <key> <size>
+//	delete <key>
+//	get <key>
+//
+// Traces can be recorded from live repository activity (Recorder),
+// replayed against any Repository (Replay), and analysed without
+// execution: storage age "can be computed from the data allocation rate"
+// (§4.4), which Analyze does.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+// Kind enumerates trace event types.
+type Kind int
+
+const (
+	// Put creates a new object.
+	Put Kind = iota
+	// Replace safe-writes an existing (or new) object.
+	Replace
+	// Delete removes an object.
+	Delete
+	// Get reads an object.
+	Get
+)
+
+var kindNames = [...]string{"put", "replace", "delete", "get"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Op is one trace event.
+type Op struct {
+	Kind Kind
+	Key  string
+	Size int64 // bytes; meaningful for Put and Replace
+}
+
+// Format renders the op in trace format.
+func (o Op) Format() string {
+	switch o.Kind {
+	case Put, Replace:
+		return fmt.Sprintf("%s %s %d", o.Kind, o.Key, o.Size)
+	default:
+		return fmt.Sprintf("%s %s", o.Kind, o.Key)
+	}
+}
+
+// ParseOp parses one trace line. Blank lines and lines starting with '#'
+// yield ok=false with no error.
+func ParseOp(line string) (Op, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Op{}, false, nil
+	}
+	fields := strings.Fields(line)
+	var op Op
+	switch fields[0] {
+	case "put", "replace":
+		if len(fields) != 3 {
+			return Op{}, false, fmt.Errorf("trace: %q needs key and size", line)
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || size <= 0 {
+			return Op{}, false, fmt.Errorf("trace: bad size in %q", line)
+		}
+		op = Op{Key: fields[1], Size: size}
+		if fields[0] == "put" {
+			op.Kind = Put
+		} else {
+			op.Kind = Replace
+		}
+	case "delete", "get":
+		if len(fields) != 2 {
+			return Op{}, false, fmt.Errorf("trace: %q needs a key", line)
+		}
+		op = Op{Key: fields[1]}
+		if fields[0] == "delete" {
+			op.Kind = Delete
+		} else {
+			op.Kind = Get
+		}
+	default:
+		return Op{}, false, fmt.Errorf("trace: unknown op %q", fields[0])
+	}
+	return op, true, nil
+}
+
+// Write emits ops in trace format.
+func Write(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := fmt.Fprintln(bw, op.Format()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a whole trace.
+func Read(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		op, ok, err := ParseOp(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if ok {
+			ops = append(ops, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Recorder wraps a Repository, recording every mutation and read as a
+// trace while passing operations through.
+type Recorder struct {
+	core.Repository
+	ops []Op
+}
+
+// NewRecorder wraps repo.
+func NewRecorder(repo core.Repository) *Recorder {
+	return &Recorder{Repository: repo}
+}
+
+// Ops returns the recorded trace.
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// Put implements Repository.
+func (r *Recorder) Put(key string, size int64, data []byte) error {
+	if err := r.Repository.Put(key, size, data); err != nil {
+		return err
+	}
+	r.ops = append(r.ops, Op{Kind: Put, Key: key, Size: size})
+	return nil
+}
+
+// Replace implements Repository.
+func (r *Recorder) Replace(key string, size int64, data []byte) error {
+	if err := r.Repository.Replace(key, size, data); err != nil {
+		return err
+	}
+	r.ops = append(r.ops, Op{Kind: Replace, Key: key, Size: size})
+	return nil
+}
+
+// Delete implements Repository.
+func (r *Recorder) Delete(key string) error {
+	if err := r.Repository.Delete(key); err != nil {
+		return err
+	}
+	r.ops = append(r.ops, Op{Kind: Delete, Key: key})
+	return nil
+}
+
+// Get implements Repository.
+func (r *Recorder) Get(key string) (int64, []byte, error) {
+	n, data, err := r.Repository.Get(key)
+	if err != nil {
+		return n, data, err
+	}
+	r.ops = append(r.ops, Op{Kind: Get, Key: key})
+	return n, data, nil
+}
+
+// Result summarises a replay.
+type Result struct {
+	Ops          int
+	BytesWritten int64
+	BytesRead    int64
+	Seconds      float64
+	WriteMBps    float64
+	StorageAge   float64
+}
+
+// Replay executes a trace against repo, tracking storage age. Objects
+// must exist before replace/delete/get events reference them (Replace
+// creates when absent, as the safe-write protocol allows).
+func Replay(ops []Op, repo core.Repository) (Result, error) {
+	tracker := core.NewAgeTracker(repo)
+	w := vclock.StartWatch(repo.Clock())
+	var res Result
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case Put:
+			err = tracker.Put(op.Key, op.Size, nil)
+			res.BytesWritten += op.Size
+		case Replace:
+			err = tracker.Replace(op.Key, op.Size, nil)
+			res.BytesWritten += op.Size
+		case Delete:
+			err = tracker.Delete(op.Key)
+		case Get:
+			var n int64
+			n, _, err = repo.Get(op.Key)
+			res.BytesRead += n
+		}
+		if err != nil {
+			return res, fmt.Errorf("trace: op %d (%s): %w", i, op.Format(), err)
+		}
+		res.Ops++
+	}
+	res.Seconds = w.Seconds()
+	res.WriteMBps = units.MBps(res.BytesWritten, res.Seconds)
+	res.StorageAge = tracker.Age()
+	return res, nil
+}
+
+// Analysis is what a trace implies without executing it.
+type Analysis struct {
+	Ops          int
+	Puts         int
+	Replaces     int
+	Deletes      int
+	Gets         int
+	LiveObjects  int
+	LiveBytes    int64
+	RetiredBytes int64
+	// StorageAge is computed from the allocation rate alone, per §4.4:
+	// "Given an application trace, storage age can be computed from the
+	// data allocation rate."
+	StorageAge float64
+	// MeanObjectBytes is the mean live object size at trace end.
+	MeanObjectBytes int64
+}
+
+// Analyze computes trace statistics and the storage age the trace would
+// produce, without touching any store.
+func Analyze(ops []Op) (Analysis, error) {
+	var a Analysis
+	live := map[string]int64{}
+	for i, op := range ops {
+		a.Ops++
+		switch op.Kind {
+		case Put:
+			if _, ok := live[op.Key]; ok {
+				return a, fmt.Errorf("trace: op %d puts existing key %s", i, op.Key)
+			}
+			live[op.Key] = op.Size
+			a.Puts++
+		case Replace:
+			if old, ok := live[op.Key]; ok {
+				a.RetiredBytes += old
+			}
+			live[op.Key] = op.Size
+			a.Replaces++
+		case Delete:
+			old, ok := live[op.Key]
+			if !ok {
+				return a, fmt.Errorf("trace: op %d deletes missing key %s", i, op.Key)
+			}
+			a.RetiredBytes += old
+			delete(live, op.Key)
+			a.Deletes++
+		case Get:
+			if _, ok := live[op.Key]; !ok {
+				return a, fmt.Errorf("trace: op %d reads missing key %s", i, op.Key)
+			}
+			a.Gets++
+		}
+	}
+	a.LiveObjects = len(live)
+	for _, s := range live {
+		a.LiveBytes += s
+	}
+	if a.LiveBytes > 0 {
+		a.StorageAge = float64(a.RetiredBytes) / float64(a.LiveBytes)
+	}
+	if a.LiveObjects > 0 {
+		a.MeanObjectBytes = a.LiveBytes / int64(a.LiveObjects)
+	}
+	return a, nil
+}

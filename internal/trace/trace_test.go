@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+func newFS(capacity int64) core.Repository {
+	return core.NewFileStore(vclock.New(), core.FileStoreOptions{
+		Capacity: capacity, DiskMode: disk.MetadataMode,
+	})
+}
+
+func newDBr(capacity int64) core.Repository {
+	return core.NewDBStore(vclock.New(), core.DBStoreOptions{
+		Capacity: capacity, DiskMode: disk.MetadataMode,
+	})
+}
+
+func TestParseAndFormatRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: Put, Key: "a", Size: 1024},
+		{Kind: Replace, Key: "a", Size: 2048},
+		{Kind: Get, Key: "a"},
+		{Kind: Delete, Key: "a"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops", len(got))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nput a 100\n  \n# trailing\nget a\n"
+	ops, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"put a",           // missing size
+		"put a -5",        // negative size
+		"put a xyz",       // non-numeric
+		"delete",          // missing key
+		"frobnicate a 10", // unknown op
+	} {
+		if _, ok, err := ParseOp(bad); err == nil && ok {
+			t.Errorf("ParseOp(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRecorderCapturesWorkload(t *testing.T) {
+	rec := NewRecorder(newFS(128 * units.MB))
+	runner := workload.NewRunner(rec, workload.Constant{Size: 512 * units.KB}, 3)
+	if _, err := runner.BulkLoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.ChurnToAge(1, workload.ChurnOptions{ReadsPerWrite: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ops := rec.Ops()
+	if len(ops) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	var puts, replaces, gets int
+	for _, op := range ops {
+		switch op.Kind {
+		case Put:
+			puts++
+		case Replace:
+			replaces++
+		case Get:
+			gets++
+		}
+	}
+	if puts == 0 || replaces == 0 || gets == 0 {
+		t.Fatalf("incomplete recording: %d puts %d replaces %d gets", puts, replaces, gets)
+	}
+}
+
+// TestReplayReproducesStateAndAge is the core trace-based-generation
+// property: replaying a recorded trace onto a fresh store of EITHER
+// backend reproduces the live object set and the storage age — §4.4's
+// claim that storage age is comparable across systems.
+func TestReplayReproducesStateAndAge(t *testing.T) {
+	rec := NewRecorder(newFS(128 * units.MB))
+	runner := workload.NewRunner(rec, workload.UniformAround(512*units.KB), 7)
+	if _, err := runner.BulkLoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.ChurnToAge(2, workload.ChurnOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	wantAge := runner.Tracker().Age()
+	wantCount := rec.ObjectCount()
+	wantLive := rec.LiveBytes()
+
+	for _, fresh := range []core.Repository{newFS(128 * units.MB), newDBr(128 * units.MB)} {
+		res, err := Replay(rec.Ops(), fresh)
+		if err != nil {
+			t.Fatalf("%s replay: %v", fresh.Name(), err)
+		}
+		if fresh.ObjectCount() != wantCount {
+			t.Fatalf("%s: %d objects, want %d", fresh.Name(), fresh.ObjectCount(), wantCount)
+		}
+		if fresh.LiveBytes() != wantLive {
+			t.Fatalf("%s: %d live bytes, want %d", fresh.Name(), fresh.LiveBytes(), wantLive)
+		}
+		if diff := res.StorageAge - wantAge; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: replay age %.4f, want %.4f", fresh.Name(), res.StorageAge, wantAge)
+		}
+		// Every object readable.
+		for _, k := range fresh.Keys() {
+			if _, _, err := fresh.Get(k); err != nil {
+				t.Fatalf("%s: %v", fresh.Name(), err)
+			}
+		}
+	}
+}
+
+// TestAnalyzeMatchesExecution checks §4.4: storage age computed from the
+// trace alone equals the age measured during execution.
+func TestAnalyzeMatchesExecution(t *testing.T) {
+	rec := NewRecorder(newFS(128 * units.MB))
+	runner := workload.NewRunner(rec, workload.Constant{Size: 1 * units.MB}, 5)
+	if _, err := runner.BulkLoad(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.ChurnToAge(3, workload.ChurnOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(rec.Ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.StorageAge, runner.Tracker().Age(); got != want {
+		t.Fatalf("analyzed age %.4f != executed age %.4f", got, want)
+	}
+	if a.LiveObjects != rec.ObjectCount() {
+		t.Fatalf("analyzed %d live, store has %d", a.LiveObjects, rec.ObjectCount())
+	}
+	if a.LiveBytes != rec.LiveBytes() {
+		t.Fatalf("analyzed %d live bytes, store has %d", a.LiveBytes, rec.LiveBytes())
+	}
+}
+
+func TestAnalyzeRejectsBrokenTraces(t *testing.T) {
+	cases := [][]Op{
+		{{Kind: Put, Key: "a", Size: 10}, {Kind: Put, Key: "a", Size: 10}},
+		{{Kind: Delete, Key: "ghost"}},
+		{{Kind: Get, Key: "ghost"}},
+	}
+	for i, ops := range cases {
+		if _, err := Analyze(ops); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReplayFailsCleanlyOnBadTrace(t *testing.T) {
+	repo := newFS(64 * units.MB)
+	_, err := Replay([]Op{{Kind: Delete, Key: "ghost"}}, repo)
+	if err == nil {
+		t.Fatal("replay of broken trace succeeded")
+	}
+}
+
+func TestReplayGroupedDeletePattern(t *testing.T) {
+	// A hand-written trace with §3.2's grouped deallocation.
+	var ops []Op
+	for album := 0; album < 3; album++ {
+		for p := 0; p < 10; p++ {
+			ops = append(ops, Op{Kind: Put, Key: key(album, p), Size: 256 * units.KB})
+		}
+	}
+	for p := 0; p < 10; p++ {
+		ops = append(ops, Op{Kind: Delete, Key: key(1, p)})
+	}
+	repo := newFS(64 * units.MB)
+	res, err := Replay(ops, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.ObjectCount() != 20 {
+		t.Fatalf("count = %d", repo.ObjectCount())
+	}
+	// 10 deleted of 20 live: age 0.5.
+	if res.StorageAge != 0.5 {
+		t.Fatalf("age = %g", res.StorageAge)
+	}
+}
+
+func key(album, p int) string {
+	return "album" + string(rune('A'+album)) + "/" + string(rune('0'+p))
+}

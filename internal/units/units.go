@@ -1,0 +1,93 @@
+// Package units provides byte-size constants, formatting, and parsing
+// helpers shared by every layer of the repository.
+//
+// All sizes in the system are expressed in bytes as int64 and converted to
+// clusters or pages only at the storage-engine boundary.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Binary byte-size constants.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// FormatBytes renders n as a human-readable size using binary units,
+// e.g. 262144 -> "256K", 10485760 -> "10M". Values that are not whole
+// multiples are rendered with up to two decimal places.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return trim(float64(n)/float64(TB)) + "T"
+	case n >= GB:
+		return trim(float64(n)/float64(GB)) + "G"
+	case n >= MB:
+		return trim(float64(n)/float64(MB)) + "M"
+	case n >= KB:
+		return trim(float64(n)/float64(KB)) + "K"
+	default:
+		return strconv.FormatInt(n, 10) + "B"
+	}
+}
+
+func trim(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// ParseBytes parses strings such as "256K", "10M", "1.5G", "400GB" or a
+// plain integer number of bytes.
+func ParseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	s = strings.TrimSuffix(s, "B")
+	if s == "" {
+		return 0, fmt.Errorf("units: empty size %q", orig)
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K':
+		mult, s = KB, s[:len(s)-1]
+	case 'M':
+		mult, s = MB, s[:len(s)-1]
+	case 'G':
+		mult, s = GB, s[:len(s)-1]
+	case 'T':
+		mult, s = TB, s[:len(s)-1]
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %v", orig, err)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("units: negative size %q", orig)
+	}
+	return int64(f * float64(mult)), nil
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// RoundUp rounds n up to the next multiple of align (align > 0).
+func RoundUp(n, align int64) int64 {
+	return CeilDiv(n, align) * align
+}
+
+// MBps formats a bytes-over-seconds rate as MB/s with two decimals.
+func MBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(MB) / seconds
+}

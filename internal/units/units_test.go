@@ -1,0 +1,80 @@
+package units
+
+import "testing"
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1K"},
+		{256 * KB, "256K"},
+		{MB, "1M"},
+		{10 * MB, "10M"},
+		{(3 * MB) / 2, "1.5M"},
+		{40 * GB, "40G"},
+		{400 * GB, "400G"},
+		{2 * TB, "2T"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"256K", 256 * KB},
+		{"256KB", 256 * KB},
+		{"10M", 10 * MB},
+		{"1.5M", (3 * MB) / 2},
+		{"40G", 40 * GB},
+		{"400gb", 400 * GB},
+		{"123", 123},
+		{" 2 T ", 2 * TB},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBytes(%q) = %d,%v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1M", "K"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int64{KB, 64 * KB, MB, 10 * MB, GB, 400 * GB} {
+		got, err := ParseBytes(FormatBytes(n))
+		if err != nil || got != n {
+			t.Errorf("round trip %d -> %q -> %d (%v)", n, FormatBytes(n), got, err)
+		}
+	}
+}
+
+func TestCeilDivRoundUp(t *testing.T) {
+	if CeilDiv(10, 3) != 4 || CeilDiv(9, 3) != 3 || CeilDiv(1, 3) != 1 {
+		t.Fatal("CeilDiv wrong")
+	}
+	if RoundUp(10, 4) != 12 || RoundUp(8, 4) != 8 {
+		t.Fatal("RoundUp wrong")
+	}
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(10*MB, 2); got != 5 {
+		t.Fatalf("MBps = %g, want 5", got)
+	}
+	if MBps(MB, 0) != 0 {
+		t.Fatal("MBps with zero time should be 0")
+	}
+}

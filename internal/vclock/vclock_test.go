@@ -1,0 +1,49 @@
+package vclock
+
+import "testing"
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.Advance(1500)
+	c.Advance(500)
+	if c.Now() != 2000 {
+		t.Fatalf("Now = %d, want 2000", c.Now())
+	}
+	if c.Seconds() != 2e-6 {
+		t.Fatalf("Seconds = %g", c.Seconds())
+	}
+}
+
+func TestAdvanceSeconds(t *testing.T) {
+	c := New()
+	c.AdvanceSeconds(1.5)
+	if c.Now() != 1_500_000_000 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	c.Advance(1000)
+	w := StartWatch(c)
+	c.Advance(2_000_000_000)
+	if w.Seconds() != 2 {
+		t.Fatalf("Stopwatch.Seconds = %g", w.Seconds())
+	}
+	if w.Nanoseconds() != 2_000_000_000 {
+		t.Fatalf("Stopwatch.Nanoseconds = %d", w.Nanoseconds())
+	}
+}

@@ -1,0 +1,253 @@
+// Package workload generates the paper's abstract write-intensive
+// get/put application (§4.3): bulk load to a target occupancy, then
+// rounds of safe-write replacement of uniformly chosen objects with
+// interleaved reads, driven by deterministic seeded randomness.
+//
+// Following §4.3's simplifications: all objects are equally likely to be
+// written or read, there is no correlation among objects, and object
+// sizes come from simple distributions (constant and uniform; the paper
+// found size distribution had no obvious effect on fragmentation).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+// SizeDist is an object-size distribution.
+type SizeDist interface {
+	// Name identifies the distribution in reports.
+	Name() string
+	// Mean returns the mean object size in bytes.
+	Mean() int64
+	// Sample draws one object size.
+	Sample(rng *rand.Rand) int64
+}
+
+// Constant is the paper's primary distribution: every object the same
+// size.
+type Constant struct{ Size int64 }
+
+// Name implements SizeDist.
+func (c Constant) Name() string { return "constant " + units.FormatBytes(c.Size) }
+
+// Mean implements SizeDist.
+func (c Constant) Mean() int64 { return c.Size }
+
+// Sample implements SizeDist.
+func (c Constant) Sample(*rand.Rand) int64 { return c.Size }
+
+// Uniform draws sizes uniformly from [Min, Max] — Figure 5's alternative
+// with the same mean as the constant distribution.
+type Uniform struct{ Min, Max int64 }
+
+// Name implements SizeDist.
+func (u Uniform) Name() string {
+	return fmt.Sprintf("uniform %s..%s", units.FormatBytes(u.Min), units.FormatBytes(u.Max))
+}
+
+// Mean implements SizeDist.
+func (u Uniform) Mean() int64 { return (u.Min + u.Max) / 2 }
+
+// Sample implements SizeDist.
+func (u Uniform) Sample(rng *rand.Rand) int64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Int63n(u.Max-u.Min+1)
+}
+
+// UniformAround returns a Uniform spanning 0.5x..1.5x of mean, the
+// natural counterpart used in Figure 5 ("sizes chosen uniformly at random
+// with the same average size").
+func UniformAround(mean int64) Uniform {
+	return Uniform{Min: mean / 2, Max: mean + mean/2}
+}
+
+// Result summarises one workload phase.
+type Result struct {
+	Ops          int     // operations performed
+	Bytes        int64   // payload bytes moved
+	Seconds      float64 // virtual seconds elapsed
+	MBps         float64 // payload throughput
+	EndingAge    float64 // storage age after the phase
+	ObjectsAlive int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d ops, %s in %.1fs virtual = %.2f MB/s (age %.2f)",
+		r.Ops, units.FormatBytes(r.Bytes), r.Seconds, r.MBps, r.EndingAge)
+}
+
+// Runner drives one repository through the workload phases.
+type Runner struct {
+	tracker *core.AgeTracker
+	rng     *rand.Rand
+	dist    SizeDist
+	keys    []string
+	nextID  int64
+}
+
+// NewRunner creates a deterministic runner over repo.
+func NewRunner(repo core.Repository, dist SizeDist, seed int64) *Runner {
+	return &Runner{
+		tracker: core.NewAgeTracker(repo),
+		rng:     rand.New(rand.NewSource(seed)),
+		dist:    dist,
+	}
+}
+
+// Tracker exposes the storage-age tracker.
+func (r *Runner) Tracker() *core.AgeTracker { return r.tracker }
+
+// Repo returns the repository under test.
+func (r *Runner) Repo() core.Repository { return r.tracker.Repo() }
+
+// Keys returns the keys of live objects, in creation order.
+func (r *Runner) Keys() []string { return r.keys }
+
+// clockWatch starts a stopwatch on the repository clock.
+func (r *Runner) clockWatch() vclock.Stopwatch {
+	return vclock.StartWatch(r.Repo().Clock())
+}
+
+// sample draws a size, rounded up to 4 KB so file and database cluster
+// accounting line up.
+func (r *Runner) sample() int64 {
+	return units.RoundUp(r.dist.Sample(r.rng), 4*units.KB)
+}
+
+// BulkLoad puts fresh objects until live bytes reach occupancy (0..1) of
+// the repository's capacity. The paper's figures start from this state
+// ("storage age 0", §5.3) and both systems append sequentially during it.
+func (r *Runner) BulkLoad(occupancy float64) (Result, error) {
+	return r.BulkLoadBytes(int64(occupancy * float64(r.Repo().CapacityBytes())))
+}
+
+// BulkLoadBytes puts fresh objects until live bytes reach targetBytes.
+func (r *Runner) BulkLoadBytes(targetBytes int64) (Result, error) {
+	w := r.clockWatch()
+	var res Result
+	for {
+		size := r.sample()
+		if r.Repo().LiveBytes()+size > targetBytes {
+			break
+		}
+		key := fmt.Sprintf("obj-%08d", r.nextID)
+		r.nextID++
+		if err := r.tracker.Put(key, size, nil); err != nil {
+			return res, fmt.Errorf("bulk load after %d objects: %w", res.Ops, err)
+		}
+		r.keys = append(r.keys, key)
+		res.Ops++
+		res.Bytes += size
+	}
+	r.tracker.ResetBaseline()
+	res.Seconds = w.Seconds()
+	res.MBps = units.MBps(res.Bytes, res.Seconds)
+	res.EndingAge = 0
+	res.ObjectsAlive = r.Repo().ObjectCount()
+	return res, nil
+}
+
+// ChurnOptions controls a churn phase.
+type ChurnOptions struct {
+	// ReadsPerWrite interleaves this many whole-object reads per safe
+	// write (the paper's "interleaved read requests", §4.3).
+	ReadsPerWrite int
+}
+
+// ChurnToAge safe-writes uniformly chosen objects until storage age
+// reaches target. Write throughput over the phase is the Figure 4
+// measurement: "the average write throughput between the bulk load and
+// storage age two read measurements".
+func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
+	w := r.clockWatch()
+	var res Result
+	if len(r.keys) == 0 {
+		return res, fmt.Errorf("workload: churn before bulk load")
+	}
+	for r.tracker.Age() < target {
+		key := r.keys[r.rng.Intn(len(r.keys))]
+		size := r.sample()
+		if err := r.tracker.Replace(key, size, nil); err != nil {
+			return res, fmt.Errorf("churn op %d: %w", res.Ops, err)
+		}
+		res.Ops++
+		res.Bytes += size
+		for i := 0; i < opts.ReadsPerWrite; i++ {
+			rk := r.keys[r.rng.Intn(len(r.keys))]
+			if _, _, err := r.Repo().Get(rk); err != nil {
+				return res, fmt.Errorf("interleaved read: %w", err)
+			}
+		}
+	}
+	res.Seconds = w.Seconds()
+	res.MBps = units.MBps(res.Bytes, res.Seconds)
+	res.EndingAge = r.tracker.Age()
+	res.ObjectsAlive = r.Repo().ObjectCount()
+	return res, nil
+}
+
+// MeasureReadThroughput reads `samples` uniformly chosen objects and
+// returns the payload throughput in MB/s of virtual time — the paper's
+// primary performance indicator (§5).
+func (r *Runner) MeasureReadThroughput(samples int) (Result, error) {
+	w := r.clockWatch()
+	var res Result
+	if len(r.keys) == 0 {
+		return res, fmt.Errorf("workload: measure before bulk load")
+	}
+	for i := 0; i < samples; i++ {
+		key := r.keys[r.rng.Intn(len(r.keys))]
+		n, _, err := r.Repo().Get(key)
+		if err != nil {
+			return res, err
+		}
+		res.Ops++
+		res.Bytes += n
+	}
+	res.Seconds = w.Seconds()
+	res.MBps = units.MBps(res.Bytes, res.Seconds)
+	res.EndingAge = r.tracker.Age()
+	res.ObjectsAlive = r.Repo().ObjectCount()
+	return res, nil
+}
+
+// DeleteGroup deletes a contiguous group of n objects starting at a
+// random position — the structured deallocation pattern §3.2 describes
+// ("pictures shared for an event are often uploaded and later deleted as
+// a group"). Used by the photoshare example and extension benches.
+func (r *Runner) DeleteGroup(n int) (Result, error) {
+	w := r.clockWatch()
+	var res Result
+	if len(r.keys) == 0 {
+		return res, fmt.Errorf("workload: delete before bulk load")
+	}
+	if n > len(r.keys) {
+		n = len(r.keys)
+	}
+	start := r.rng.Intn(len(r.keys) - n + 1)
+	for i := 0; i < n; i++ {
+		key := r.keys[start+i]
+		size, err := r.Repo().Stat(key)
+		if err != nil {
+			return res, err
+		}
+		if err := r.tracker.Delete(key); err != nil {
+			return res, err
+		}
+		res.Ops++
+		res.Bytes += size
+	}
+	r.keys = append(r.keys[:start], r.keys[start+n:]...)
+	res.Seconds = w.Seconds()
+	res.MBps = units.MBps(res.Bytes, res.Seconds)
+	res.EndingAge = r.tracker.Age()
+	res.ObjectsAlive = r.Repo().ObjectCount()
+	return res, nil
+}

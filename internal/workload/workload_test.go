@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func newFS(capacity int64) core.Repository {
+	return core.NewFileStore(vclock.New(), core.FileStoreOptions{Capacity: capacity, DiskMode: disk.MetadataMode})
+}
+
+func TestConstantDist(t *testing.T) {
+	c := Constant{Size: 256 * units.KB}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if c.Sample(rng) != 256*units.KB {
+			t.Fatal("constant not constant")
+		}
+	}
+	if c.Mean() != 256*units.KB {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	u := UniformAround(10 * units.MB)
+	if u.Min != 5*units.MB || u.Max != 15*units.MB {
+		t.Fatalf("UniformAround bounds: %d..%d", u.Min, u.Max)
+	}
+	if u.Mean() != 10*units.MB {
+		t.Fatalf("mean = %d", u.Mean())
+	}
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := u.Sample(rng)
+		if s < u.Min || s > u.Max {
+			t.Fatalf("sample %d out of range", s)
+		}
+		sum += float64(s)
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(u.Mean()))/float64(u.Mean()) > 0.02 {
+		t.Fatalf("sample mean %.0f deviates from %d", mean, u.Mean())
+	}
+}
+
+func TestBulkLoadReachesOccupancy(t *testing.T) {
+	r := NewRunner(newFS(256*units.MB), Constant{Size: 1 * units.MB}, 1)
+	res, err := r.BulkLoad(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := float64(r.Repo().LiveBytes()) / float64(r.Repo().CapacityBytes())
+	if occ < 0.45 || occ > 0.5 {
+		t.Fatalf("occupancy %.3f", occ)
+	}
+	if res.Ops != r.Repo().ObjectCount() {
+		t.Fatalf("ops %d != objects %d", res.Ops, r.Repo().ObjectCount())
+	}
+	if res.MBps <= 0 || res.Seconds <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if r.Tracker().Age() != 0 {
+		t.Fatal("age after bulk load should be 0")
+	}
+}
+
+func TestChurnReachesAge(t *testing.T) {
+	r := NewRunner(newFS(128*units.MB), Constant{Size: 1 * units.MB}, 7)
+	if _, err := r.BulkLoad(0.5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ChurnToAge(2.0, ChurnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EndingAge < 2.0 || res.EndingAge > 2.2 {
+		t.Fatalf("ending age %.3f", res.EndingAge)
+	}
+	// Object count stays fixed: churn replaces, never grows.
+	if res.ObjectsAlive != r.Repo().ObjectCount() {
+		t.Fatal("ObjectsAlive wrong")
+	}
+}
+
+func TestChurnBeforeLoadFails(t *testing.T) {
+	r := NewRunner(newFS(64*units.MB), Constant{Size: 1 * units.MB}, 1)
+	if _, err := r.ChurnToAge(1, ChurnOptions{}); err == nil {
+		t.Fatal("churn before load succeeded")
+	}
+	if _, err := r.MeasureReadThroughput(5); err == nil {
+		t.Fatal("measure before load succeeded")
+	}
+}
+
+func TestMeasureReadThroughput(t *testing.T) {
+	r := NewRunner(newFS(128*units.MB), Constant{Size: 512 * units.KB}, 3)
+	if _, err := r.BulkLoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.MeasureReadThroughput(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 50 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Bytes != 50*512*units.KB {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	if res.MBps <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (float64, int) {
+		r := NewRunner(newFS(128*units.MB), UniformAround(1*units.MB), 42)
+		if _, err := r.BulkLoad(0.5); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.ChurnToAge(1, ChurnOptions{ReadsPerWrite: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps, res.Ops
+	}
+	m1, o1 := run()
+	m2, o2 := run()
+	if m1 != m2 || o1 != o2 {
+		t.Fatalf("non-deterministic: %.4f/%d vs %.4f/%d", m1, o1, m2, o2)
+	}
+}
+
+func TestInterleavedReadsSlowChurn(t *testing.T) {
+	run := func(reads int) float64 {
+		r := NewRunner(newFS(128*units.MB), Constant{Size: 1 * units.MB}, 5)
+		if _, err := r.BulkLoad(0.5); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.ChurnToAge(1, ChurnOptions{ReadsPerWrite: reads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	if run(2) <= run(0) {
+		t.Fatal("interleaved reads did not add virtual time")
+	}
+}
+
+func TestDeleteGroup(t *testing.T) {
+	r := NewRunner(newFS(128*units.MB), Constant{Size: 1 * units.MB}, 9)
+	if _, err := r.BulkLoad(0.5); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Repo().ObjectCount()
+	res, err := r.DeleteGroup(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 10 || r.Repo().ObjectCount() != before-10 {
+		t.Fatalf("deleted %d, count %d->%d", res.Ops, before, r.Repo().ObjectCount())
+	}
+	if len(r.Keys()) != before-10 {
+		t.Fatal("key list not maintained")
+	}
+	if r.Tracker().Age() <= 0 {
+		t.Fatal("deletes must advance storage age")
+	}
+}
+
+func TestSizesClusterAligned(t *testing.T) {
+	r := NewRunner(newFS(128*units.MB), Uniform{Min: 100 * units.KB, Max: 900 * units.KB}, 11)
+	if _, err := r.BulkLoad(0.3); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range r.Keys() {
+		size, err := r.Repo().Stat(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size%(4*units.KB) != 0 {
+			t.Fatalf("object %s size %d not 4KB aligned", k, size)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestZipfBounds(t *testing.T) {
+	z := Zipf{Min: 64 * units.KB, Max: 16 * units.MB}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		s := z.Sample(rng)
+		if s < z.Min || s > z.Max {
+			t.Fatalf("sample %d outside [%d,%d]", s, z.Min, z.Max)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := Zipf{Min: 64 * units.KB, Max: 16 * units.MB}
+	rng := rand.New(rand.NewSource(2))
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		s := z.Sample(rng)
+		if s < 256*units.KB {
+			small++
+		}
+		if s > 8*units.MB {
+			large++
+		}
+	}
+	if small <= large {
+		t.Fatalf("zipf not skewed toward small: %d small vs %d large", small, large)
+	}
+	if small < 3*large {
+		t.Fatalf("skew too weak: %d small vs %d large", small, large)
+	}
+}
+
+func TestZipfMeanConsistent(t *testing.T) {
+	z := Zipf{Min: 64 * units.KB, Max: 16 * units.MB}
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(z.Sample(rng))
+	}
+	sampleMean := sum / n
+	declared := float64(z.Mean())
+	ratio := sampleMean / declared
+	// The declared mean uses bucket lower bounds; samples are uniform
+	// within buckets, so the sample mean runs up to ~1.5x higher.
+	if ratio < 0.8 || ratio > 1.8 {
+		t.Fatalf("sample mean %.0f vs declared %.0f (ratio %.2f)", sampleMean, declared, ratio)
+	}
+}
+
+func TestZipfDefaults(t *testing.T) {
+	z := Zipf{} // all defaults
+	rng := rand.New(rand.NewSource(4))
+	s := z.Sample(rng)
+	if s <= 0 {
+		t.Fatalf("default sample %d", s)
+	}
+	if z.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestZipfDrivesWorkload(t *testing.T) {
+	r := NewRunner(newFS(256*units.MB), Zipf{Min: 64 * units.KB, Max: 4 * units.MB}, 5)
+	if _, err := r.BulkLoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ChurnToAge(1, ChurnOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tracker().Age() < 1 {
+		t.Fatalf("age %.2f", r.Tracker().Age())
+	}
+}
