@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
@@ -39,7 +41,8 @@ import (
 )
 
 type session struct {
-	repos    []core.Repository
+	ctx      context.Context
+	repos    []blob.Store
 	trackers map[string]*core.AgeTracker
 	rngState uint64
 }
@@ -62,14 +65,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fragstore: %v\n", err)
 		os.Exit(2)
 	}
-	s := &session{trackers: map[string]*core.AgeTracker{}, rngState: 0x9E3779B97F4A7C15}
+	s := &session{ctx: context.Background(), trackers: map[string]*core.AgeTracker{}, rngState: 0x9E3779B97F4A7C15}
+	storeOpts := []blob.Option{blob.WithCapacity(capBytes), blob.WithDiskMode(disk.MetadataMode)}
 	if *backend == "fs" || *backend == "both" {
-		r := core.NewFileStore(vclock.New(), core.FileStoreOptions{Capacity: capBytes, DiskMode: disk.MetadataMode})
-		s.repos = append(s.repos, r)
+		s.repos = append(s.repos, core.NewFileStore(vclock.New(), storeOpts...))
 	}
 	if *backend == "db" || *backend == "both" {
-		r := core.NewDBStore(vclock.New(), core.DBStoreOptions{Capacity: capBytes, DiskMode: disk.MetadataMode})
-		s.repos = append(s.repos, r)
+		s.repos = append(s.repos, core.NewDBStore(vclock.New(), storeOpts...))
 	}
 	if len(s.repos) == 0 {
 		fmt.Fprintf(os.Stderr, "fragstore: unknown backend %q\n", *backend)
@@ -119,9 +121,9 @@ func (s *session) dispatch(args []string) {
 			tr := s.trackers[r.Name()]
 			var opErr error
 			if cmd == "put" {
-				opErr = tr.Put(args[1], size, nil)
+				opErr = tr.Put(s.ctx, args[1], size, nil)
 			} else {
-				opErr = tr.Replace(args[1], size, nil)
+				opErr = tr.Replace(s.ctx, args[1], size, nil)
 			}
 			if opErr != nil {
 				fmt.Printf("%s: %v\n", r.Name(), opErr)
@@ -136,7 +138,7 @@ func (s *session) dispatch(args []string) {
 		}
 		for _, r := range s.repos {
 			before := r.Clock().Seconds()
-			n, _, err := r.Get(args[1])
+			n, _, err := blob.Get(s.ctx, r, args[1])
 			if err != nil {
 				fmt.Printf("%s: %v\n", r.Name(), err)
 				continue
@@ -151,7 +153,7 @@ func (s *session) dispatch(args []string) {
 			return
 		}
 		for _, r := range s.repos {
-			if err := s.trackers[r.Name()].Delete(args[1]); err != nil {
+			if err := s.trackers[r.Name()].Delete(s.ctx, args[1]); err != nil {
 				fmt.Printf("%s: %v\n", r.Name(), err)
 			} else {
 				fmt.Printf("%s: deleted\n", r.Name())
@@ -162,8 +164,8 @@ func (s *session) dispatch(args []string) {
 		keys := r.Keys()
 		sort.Strings(keys)
 		for _, k := range keys {
-			size, _ := r.Stat(k)
-			fmt.Printf("%-40s %s\n", k, units.FormatBytes(size))
+			info, _ := r.Stat(s.ctx, k)
+			fmt.Printf("%-40s %s\n", k, units.FormatBytes(info.Size))
 		}
 		fmt.Printf("%d objects\n", len(keys))
 	case "frag":
@@ -202,7 +204,7 @@ func (s *session) dispatch(args []string) {
 			tr := s.trackers[r.Name()]
 			for i := 0; i < n; i++ {
 				k := keys[s.rand(len(keys))]
-				if err := tr.Replace(k, size, nil); err != nil {
+				if err := tr.Replace(s.ctx, k, size, nil); err != nil {
 					fmt.Printf("%s: %v\n", r.Name(), err)
 					break
 				}
@@ -224,7 +226,7 @@ func (s *session) dispatch(args []string) {
 			tr := s.trackers[r.Name()]
 			i := r.ObjectCount()
 			for float64(r.LiveBytes()+size) <= frac*float64(r.CapacityBytes()) {
-				if err := tr.Put(fmt.Sprintf("obj-%06d", i), size, nil); err != nil {
+				if err := tr.Put(s.ctx, fmt.Sprintf("obj-%06d", i), size, nil); err != nil {
 					fmt.Printf("%s: %v\n", r.Name(), err)
 					break
 				}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/extent"
@@ -42,18 +43,19 @@ func main() {
 		fail(err)
 	}
 
-	var repo core.Repository
+	var repo blob.Store
 	var drive *disk.Drive
+	storeOpts := []blob.Option{
+		blob.WithCapacity(capBytes),
+		blob.WithDiskMode(disk.MetadataMode),
+		blob.WithWriteRequestSize(64 * units.KB),
+	}
 	switch *backend {
 	case "fs":
-		st := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-			Capacity: capBytes, DiskMode: disk.MetadataMode, WriteRequestSize: 64 * units.KB,
-		})
+		st := core.NewFileStore(vclock.New(), storeOpts...)
 		repo, drive = st, st.Volume().Drive()
 	case "db":
-		st := core.NewDBStore(vclock.New(), core.DBStoreOptions{
-			Capacity: capBytes, DiskMode: disk.MetadataMode,
-		})
+		st := core.NewDBStore(vclock.New(), storeOpts...)
 		repo, drive = st, st.Engine().DataDrive()
 	default:
 		fail(fmt.Errorf("unknown backend %q", *backend))

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
@@ -37,34 +39,33 @@ func albumKey(album, photo int) string {
 	return fmt.Sprintf("album-%03d/img-%04d.jpg", album, photo)
 }
 
-func uploadAlbum(repo core.Repository, album int) {
+func uploadAlbum(ctx context.Context, repo blob.Store, album int) {
 	for p := 0; p < photosPerAlbum; p++ {
-		if err := repo.Put(albumKey(album, p), photoSize, nil); err != nil {
+		if err := blob.Put(ctx, repo, albumKey(album, p), photoSize, nil); err != nil {
 			log.Fatalf("upload: %v", err)
 		}
 	}
 }
 
-func deleteAlbum(repo core.Repository, album int) {
+func deleteAlbum(ctx context.Context, repo blob.Store, album int) {
 	for p := 0; p < photosPerAlbum; p++ {
-		if err := repo.Delete(albumKey(album, p)); err != nil {
+		if err := repo.Delete(ctx, albumKey(album, p)); err != nil {
 			log.Fatalf("delete: %v", err)
 		}
 	}
 }
 
 func main() {
-	for _, mk := range []func() core.Repository{
-		func() core.Repository {
-			return core.NewFileStore(vclock.New(), core.FileStoreOptions{
-				Capacity: 2 * units.GB, DiskMode: disk.MetadataMode,
-				WriteRequestSize: 64 * units.KB,
-			})
+	ctx := context.Background()
+	for _, mk := range []func() blob.Store{
+		func() blob.Store {
+			return core.NewFileStore(vclock.New(),
+				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode),
+				blob.WithWriteRequestSize(64*units.KB))
 		},
-		func() core.Repository {
-			return core.NewDBStore(vclock.New(), core.DBStoreOptions{
-				Capacity: 2 * units.GB, DiskMode: disk.MetadataMode,
-			})
+		func() blob.Store {
+			return core.NewDBStore(vclock.New(),
+				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode))
 		},
 	} {
 		repo := mk()
@@ -72,7 +73,7 @@ func main() {
 
 		// Event season: every album uploaded as one contiguous burst.
 		for a := 0; a < albums; a++ {
-			uploadAlbum(repo, a)
+			uploadAlbum(ctx, repo, a)
 		}
 		fmt.Printf("uploaded %d albums (%d photos, %s): %.2f fragments/object\n",
 			albums, albums*photosPerAlbum,
@@ -84,11 +85,11 @@ func main() {
 		// region (§3.2).
 		rng := rand.New(rand.NewSource(7))
 		for i := 0; i < albums/2; i++ {
-			deleteAlbum(repo, i*2) // every other album
+			deleteAlbum(ctx, repo, i*2) // every other album
 		}
 		// Re-upload new events into the reclaimed space.
 		for i := 0; i < albums/2; i++ {
-			uploadAlbum(repo, albums+i)
+			uploadAlbum(ctx, repo, albums+i)
 		}
 		grouped := frag.Analyze(repo).MeanFragments()
 		fmt.Printf("after grouped delete + re-upload: %.2f fragments/object\n", grouped)
@@ -98,7 +99,7 @@ func main() {
 		keys := repo.Keys()
 		for op := 0; op < len(keys); op++ {
 			k := keys[rng.Intn(len(keys))]
-			if err := repo.Replace(k, photoSize, nil); err != nil {
+			if err := blob.Replace(ctx, repo, k, photoSize, nil); err != nil {
 				log.Fatalf("replace: %v", err)
 			}
 		}

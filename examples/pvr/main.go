@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
@@ -36,12 +38,13 @@ const (
 )
 
 func main() {
-	store := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-		Capacity:         volumeSize,
-		DiskMode:         disk.MetadataMode,
-		WriteRequestSize: 64 * units.KB,
-		NoOwnerMap:       true,
-	})
+	ctx := context.Background()
+	store := core.NewFileStore(vclock.New(),
+		blob.WithCapacity(volumeSize),
+		blob.WithDiskMode(disk.MetadataMode),
+		blob.WithWriteRequestSize(64*units.KB),
+		blob.WithoutOwnerMap(),
+	)
 	rng := rand.New(rand.NewSource(3))
 	type recording struct {
 		key  string
@@ -59,14 +62,24 @@ func main() {
 			for live+size > quotaBytes && len(library) > 0 {
 				old := library[0]
 				library = library[1:]
-				if err := store.Delete(old.key); err != nil {
+				if err := store.Delete(ctx, old.key); err != nil {
 					log.Fatalf("expire: %v", err)
 				}
 				live -= old.size
 			}
 			key := fmt.Sprintf("show-%05d.ts", showID)
 			showID++
-			if err := store.Put(key, size, nil); err != nil {
+			// A broadcast streams in 64 KB requests with the final size
+			// unknown to the allocator until the recording commits —
+			// exactly the §5.4 allocation pattern.
+			w, err := store.Create(ctx, key, size)
+			if err != nil {
+				log.Fatalf("record day %d: %v", day, err)
+			}
+			if err := w.Append(size, nil); err != nil {
+				log.Fatalf("record day %d: %v", day, err)
+			}
+			if err := w.Commit(); err != nil {
 				log.Fatalf("record day %d: %v", day, err)
 			}
 			library = append(library, recording{key, size})
@@ -79,7 +92,7 @@ func main() {
 		var bytes int64
 		for i := 0; i < samples; i++ {
 			r := library[rng.Intn(len(library))]
-			n, _, err := store.Get(r.key)
+			n, _, err := blob.Get(ctx, store, r.key)
 			if err != nil {
 				log.Fatalf("playback: %v", err)
 			}

@@ -1,6 +1,7 @@
 // Quickstart: store, read, safely replace, and delete large objects on
-// both repository backends, then compare what the paper's folklore (§3.1)
-// predicts with what the virtual clock actually measured.
+// both store backends through the streaming blob.Store API, then compare
+// what the paper's folklore (§3.1) predicts with what the virtual clock
+// actually measured.
 //
 // Run with:
 //
@@ -8,9 +9,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
@@ -19,59 +23,86 @@ import (
 )
 
 func main() {
-	// A repository is a simple get/put store (§4). Build one over the
+	ctx := context.Background()
+
+	// A store is a simple get/put abstraction (§4). Build one over the
 	// NTFS-analog filesystem and one over the SQL-Server-analog database,
-	// each on its own simulated 1 GB drive. DataMode retains payloads so
-	// reads return real bytes.
-	fsStore := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-		Capacity: 1 * units.GB,
-		DiskMode: disk.DataMode,
-	})
-	dbStore := core.NewDBStore(vclock.New(), core.DBStoreOptions{
-		Capacity: 1 * units.GB,
-		DiskMode: disk.DataMode,
-	})
+	// each on its own simulated 1 GB drive, using functional options.
+	// DataMode retains payloads so reads return real bytes.
+	fsStore := core.NewFileStore(vclock.New(),
+		blob.WithCapacity(1*units.GB),
+		blob.WithDiskMode(disk.DataMode),
+	)
+	dbStore := core.NewDBStore(vclock.New(),
+		blob.WithCapacity(1*units.GB),
+		blob.WithDiskMode(disk.DataMode),
+	)
 
-	for _, repo := range []core.Repository{fsStore, dbStore} {
-		fmt.Printf("--- %s backend ---\n", repo.Name())
+	for _, store := range []blob.Store{fsStore, dbStore} {
+		fmt.Printf("--- %s backend ---\n", store.Name())
 
-		// Put: store a 256 KB object.
+		// Create: stream a 256 KB object in. Appends flow to the
+		// allocator in request-sized chunks; nothing is visible until
+		// Commit.
 		photo := make([]byte, 256*units.KB)
 		for i := range photo {
 			photo[i] = byte(i % 251)
 		}
-		if err := repo.Put("vacation.jpg", int64(len(photo)), photo); err != nil {
+		w, err := store.Create(ctx, "vacation.jpg", int64(len(photo)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := w.Write(photo); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Commit(); err != nil {
 			log.Fatal(err)
 		}
 
-		// Get: read it back.
-		n, data, err := repo.Get("vacation.jpg")
+		// Open: read it back, whole and ranged. The ranged read touches
+		// only the fragments covering the requested bytes.
+		r, err := store.Open(ctx, "vacation.jpg")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := r.ReadAll()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("read %s back (%d bytes, first byte %d)\n",
-			"vacation.jpg", n, data[0])
-
-		// Replace: a safe write — the old version survives any crash
-		// before the operation commits (§4).
-		edited := append([]byte(nil), photo...)
-		edited[0] = 0xFF
-		if err := repo.Replace("vacation.jpg", int64(len(edited)), edited); err != nil {
+			"vacation.jpg", r.Size(), data[0])
+		tail, err := r.ReadAt(r.Size()-4*units.KB, 4*units.KB)
+		if err != nil {
 			log.Fatal(err)
 		}
-		_, data, _ = repo.Get("vacation.jpg")
+		fmt.Printf("ranged read of the final 4 KB (last byte %d)\n", tail[len(tail)-1])
+		r.Close()
+
+		// Replace: a safe write — the old version survives any crash or
+		// abort before Commit (§4).
+		edited := append([]byte(nil), photo...)
+		edited[0] = 0xFF
+		if err := blob.Replace(ctx, store, "vacation.jpg", int64(len(edited)), edited); err != nil {
+			log.Fatal(err)
+		}
+		_, data, _ = blob.Get(ctx, store, "vacation.jpg")
 		fmt.Printf("after safe replace, first byte = %#x\n", data[0])
 
+		// Failures are typed: dispatch with errors.Is, never by message.
+		if _, err := store.Open(ctx, "no-such-object"); errors.Is(err, blob.ErrNotFound) {
+			fmt.Println("missing objects report blob.ErrNotFound")
+		}
+
 		// Fragmentation analysis: how is the object laid out on disk?
-		rep := frag.Analyze(repo)
+		rep := frag.Analyze(store)
 		fmt.Printf("layout: %s\n", rep)
 
 		// The virtual clock has been charging every seek, rotation,
 		// transfer and CPU cost along the way.
 		fmt.Printf("virtual time consumed: %.2f ms\n\n",
-			repo.Clock().Seconds()*1000)
+			store.Clock().Seconds()*1000)
 
-		if err := repo.Delete("vacation.jpg"); err != nil {
+		if err := store.Delete(ctx, "vacation.jpg"); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
@@ -37,17 +39,15 @@ func main() {
 	type point struct{ age, mbps, frags float64 }
 	results := map[string][]point{}
 
-	for _, mk := range []func() core.Repository{
-		func() core.Repository {
-			return core.NewDBStore(vclock.New(), core.DBStoreOptions{
-				Capacity: 2 * units.GB, DiskMode: disk.MetadataMode,
-			})
+	for _, mk := range []func() blob.Store{
+		func() blob.Store {
+			return core.NewDBStore(vclock.New(),
+				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode))
 		},
-		func() core.Repository {
-			return core.NewFileStore(vclock.New(), core.FileStoreOptions{
-				Capacity: 2 * units.GB, DiskMode: disk.MetadataMode,
-				WriteRequestSize: 64 * units.KB,
-			})
+		func() blob.Store {
+			return core.NewFileStore(vclock.New(),
+				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode),
+				blob.WithWriteRequestSize(64*units.KB))
 		},
 	} {
 		repo := mk()
@@ -89,19 +89,19 @@ func main() {
 
 	// Demonstrate per-document version history retention as WebDAV would:
 	// keep the last 3 versions of one hot document by key suffix.
-	repo := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-		Capacity: 256 * units.MB, DiskMode: disk.DataMode,
-	})
+	ctx := context.Background()
+	repo := core.NewFileStore(vclock.New(),
+		blob.WithCapacity(256*units.MB), blob.WithDiskMode(disk.DataMode))
 	rng := rand.New(rand.NewSource(1))
 	for v := 1; v <= 5; v++ {
 		body := make([]byte, 64*units.KB)
 		rng.Read(body)
 		key := fmt.Sprintf("budget.xls;v%d", v)
-		if err := repo.Put(key, int64(len(body)), body); err != nil {
+		if err := blob.Put(ctx, repo, key, int64(len(body)), body); err != nil {
 			log.Fatal(err)
 		}
 		if v > 3 {
-			if err := repo.Delete(fmt.Sprintf("budget.xls;v%d", v-3)); err != nil {
+			if err := repo.Delete(ctx, fmt.Sprintf("budget.xls;v%d", v-3)); err != nil {
 				log.Fatal(err)
 			}
 		}

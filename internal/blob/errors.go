@@ -1,0 +1,40 @@
+package blob
+
+import "errors"
+
+// The store error vocabulary. Every failure a Store, Reader, or Writer
+// reports wraps exactly one of these sentinels, so callers dispatch with
+// errors.Is instead of string matching. Both backends — and the engine
+// layers beneath them (db.Engine, fs.Volume) — map their internal
+// failures onto the same set, so errors.Is holds end-to-end through
+// every layer.
+var (
+	// ErrNotFound reports an operation on a key that does not exist.
+	ErrNotFound = errors.New("blob: object not found")
+
+	// ErrAlreadyExists reports a Create of a key that already exists.
+	ErrAlreadyExists = errors.New("blob: object already exists")
+
+	// ErrNoSpaceLeft reports an allocation failure in the backing store.
+	ErrNoSpaceLeft = errors.New("blob: no space left on store")
+
+	// ErrInvalidSize reports a zero/negative object size, a payload whose
+	// length disagrees with the declared size, or a writer committed with
+	// a byte count different from the size declared at Create/Replace.
+	ErrInvalidSize = errors.New("blob: invalid size")
+
+	// ErrOutOfRange reports a ranged read outside the object's bounds.
+	ErrOutOfRange = errors.New("blob: read out of range")
+
+	// ErrClosed reports use of a Reader or Writer after Close, Commit, or
+	// Abort.
+	ErrClosed = errors.New("blob: handle is closed")
+
+	// ErrBusy reports a Create/Replace of a key that already has an
+	// uncommitted writer in flight. Streams to one key are exclusive;
+	// retry after the in-flight writer commits or aborts.
+	ErrBusy = errors.New("blob: concurrent write in flight for key")
+
+	// ErrCrashed wraps failures injected by simulated crashes.
+	ErrCrashed = errors.New("blob: simulated crash")
+)

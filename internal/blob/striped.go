@@ -1,0 +1,50 @@
+package blob
+
+import "sync"
+
+// keyStripes is the shard count of a KeyLocks. Power of two so the hash
+// folds with a mask.
+const keyStripes = 64
+
+// KeyLocks is a striped per-key reader/writer lock: keys hash onto a
+// fixed array of RWMutexes, giving per-key mutual exclusion without a
+// lock per live object. Both store backends order same-key operations
+// through the key's stripe. Today the stores also hold a store-level
+// mutex around every engine call (the simulation engines are
+// single-threaded), so the stripes buy ordering rather than
+// parallelism; they are the seam a sharded backend parallelizes
+// across once each shard owns its own engine.
+//
+// Locks are held for the duration of one store call, never across a
+// Reader's or Writer's lifetime, so callers cannot deadlock themselves
+// by interleaving handles.
+type KeyLocks struct {
+	stripes [keyStripes]sync.RWMutex
+}
+
+// stripe returns the lock shard for key (FNV-1a, folded to the stripe
+// count).
+func (kl *KeyLocks) stripe(key string) *sync.RWMutex {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &kl.stripes[h&(keyStripes-1)]
+}
+
+// Lock acquires key's stripe exclusively.
+func (kl *KeyLocks) Lock(key string) { kl.stripe(key).Lock() }
+
+// Unlock releases key's exclusive stripe lock.
+func (kl *KeyLocks) Unlock(key string) { kl.stripe(key).Unlock() }
+
+// RLock acquires key's stripe shared.
+func (kl *KeyLocks) RLock(key string) { kl.stripe(key).RLock() }
+
+// RUnlock releases key's shared stripe lock.
+func (kl *KeyLocks) RUnlock(key string) { kl.stripe(key).RUnlock() }

@@ -1,35 +1,39 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"testing"
 
+	"repro/internal/blob"
 	"repro/internal/disk"
 	"repro/internal/units"
 )
 
 // TestAccessors exercises the informational surface of both stores.
 func TestAccessors(t *testing.T) {
-	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, r Repository) {
-		if r.Clock() == nil {
+	ctx := context.Background()
+	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, s blob.Store) {
+		if s.Clock() == nil {
 			t.Fatal("nil clock")
 		}
-		if r.CapacityBytes() <= 0 || r.CapacityBytes() > 128*units.MB {
-			t.Fatalf("capacity %d", r.CapacityBytes())
+		if s.CapacityBytes() <= 0 || s.CapacityBytes() > 128*units.MB {
+			t.Fatalf("capacity %d", s.CapacityBytes())
 		}
-		free0 := r.FreeBytes()
-		if free0 <= 0 || free0 > r.CapacityBytes() {
-			t.Fatalf("free %d of %d", free0, r.CapacityBytes())
+		free0 := s.FreeBytes()
+		if free0 <= 0 || free0 > s.CapacityBytes() {
+			t.Fatalf("free %d of %d", free0, s.CapacityBytes())
 		}
 		for _, k := range []string{"b", "a", "c"} {
-			if err := r.Put(k, 256*units.KB, nil); err != nil {
+			if err := blob.Put(ctx, s, k, 256*units.KB, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if r.FreeBytes() >= free0 {
+		if s.FreeBytes() >= free0 {
 			t.Fatal("puts did not consume space")
 		}
-		keys := r.Keys()
+		keys := s.Keys()
 		sort.Strings(keys)
 		if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
 			t.Fatalf("keys = %v", keys)
@@ -51,13 +55,14 @@ func TestBackendEscapeHatches(t *testing.T) {
 }
 
 func TestTrackerAccessors(t *testing.T) {
+	ctx := context.Background()
 	fsStore, _ := newStores(64*units.MB, disk.MetadataMode)
 	tr := NewAgeTracker(fsStore)
-	if tr.Repo() != fsStore {
-		t.Fatal("Repo() mismatch")
+	if tr.Store() != fsStore {
+		t.Fatal("Store() mismatch")
 	}
-	tr.Put("a", 1*units.MB, nil)
-	tr.Replace("a", 1*units.MB, nil)
+	tr.Put(ctx, "a", 1*units.MB, nil)
+	tr.Replace(ctx, "a", 1*units.MB, nil)
 	if tr.RetiredBytes() != 1*units.MB {
 		t.Fatalf("retired %d", tr.RetiredBytes())
 	}
@@ -65,15 +70,15 @@ func TestTrackerAccessors(t *testing.T) {
 		t.Fatalf("live %d", tr.LiveBytes())
 	}
 	// Replace of a missing key behaves as create: no retirement.
-	if err := tr.Replace("fresh", 1*units.MB, nil); err != nil {
+	if err := tr.Replace(ctx, "fresh", 1*units.MB, nil); err != nil {
 		t.Fatal(err)
 	}
 	if tr.RetiredBytes() != 1*units.MB {
 		t.Fatalf("create-by-replace retired bytes: %d", tr.RetiredBytes())
 	}
 	// Delete of missing key errors without corrupting counters.
-	if err := tr.Delete("ghost"); err == nil {
-		t.Fatal("delete missing succeeded")
+	if err := tr.Delete(ctx, "ghost"); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("delete missing = %v, want ErrNotFound", err)
 	}
 	if tr.LiveBytes() != 2*units.MB {
 		t.Fatalf("live after failed delete: %d", tr.LiveBytes())

@@ -1,0 +1,201 @@
+// Package core is the paper's primary contribution rendered as a
+// library: the blob.Store get/put large-object abstraction (§4:
+// "applications that make use of simple get/put storage primitives"),
+// two interchangeable implementations — filesystem-backed and
+// database-backed — with matched safe-replace semantics, and the
+// storage-age clock (§4.4) that makes long-term fragmentation
+// measurements comparable across systems, volume sizes, and hardware.
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/blob"
+)
+
+// AgeTracker maintains the paper's storage-age metric for a store: "the
+// ratio of bytes in objects that once existed on a volume to the number
+// of bytes in use on the volume" (§4.4) — for a safe-write workload,
+// replaced bytes divided by live bytes ("safe writes per object").
+//
+// Use it by routing all mutations through the tracker. Retired and live
+// byte counts are charged when a streaming writer COMMITS, never at
+// buffer hand-off: an aborted or crashed stream leaves the metric
+// untouched, exactly as it leaves the store untouched. The tracker is
+// safe for concurrent use, like the stores it wraps.
+type AgeTracker struct {
+	store blob.Store
+
+	mu           sync.Mutex
+	retiredBytes int64 // bytes of object versions retired since baseline
+	liveBytes    int64
+	// sizes holds the tracker's own view of each routed key: the last
+	// committed size, or a dead entry once the tracker deleted the key.
+	// Dead entries invalidate the old-size snapshot an in-flight
+	// ReplaceWriter took before the delete, so a version is never
+	// retired twice.
+	sizes map[string]trackedSize
+}
+
+// trackedSize is one entry of AgeTracker.sizes.
+type trackedSize struct {
+	size int64
+	live bool
+}
+
+// NewAgeTracker wraps store. Storage age starts at zero; call
+// ResetBaseline after bulk load so that age 0 corresponds to the freshly
+// loaded store, as in the paper's figures.
+func NewAgeTracker(store blob.Store) *AgeTracker {
+	return &AgeTracker{store: store, sizes: make(map[string]trackedSize)}
+}
+
+// Store returns the wrapped store.
+func (a *AgeTracker) Store() blob.Store { return a.store }
+
+// Age returns the current storage age.
+func (a *AgeTracker) Age() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.liveBytes == 0 {
+		return 0
+	}
+	return float64(a.retiredBytes) / float64(a.liveBytes)
+}
+
+// LiveBytes returns the tracked live byte count.
+func (a *AgeTracker) LiveBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.liveBytes
+}
+
+// RetiredBytes returns bytes retired since the baseline.
+func (a *AgeTracker) RetiredBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retiredBytes
+}
+
+// ResetBaseline zeroes the retired-byte counter (end of bulk load).
+func (a *AgeTracker) ResetBaseline() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.retiredBytes = 0
+}
+
+// commitWrite records one committed create/replace. The old size comes
+// from the tracker's own committed-size map so interleaved streams to
+// the same key charge exactly once per retired version; the snapshot
+// taken at writer open only covers keys first written outside the
+// tracker.
+func (a *AgeTracker) commitWrite(key string, size, snapSize int64, snapOK bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var old int64
+	existed := false
+	if e, known := a.sizes[key]; known {
+		old, existed = e.size, e.live
+	} else {
+		old, existed = snapSize, snapOK
+	}
+	if existed {
+		a.retiredBytes += old
+		a.liveBytes -= old
+	}
+	a.liveBytes += size
+	a.sizes[key] = trackedSize{size: size, live: true}
+}
+
+// CreateWriter starts a tracked streaming create; live bytes are charged
+// when the returned writer commits.
+func (a *AgeTracker) CreateWriter(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	w, err := a.store.Create(ctx, key, size)
+	if err != nil {
+		return nil, err
+	}
+	return &trackedWriter{Writer: w, tracker: a, key: key, size: size}, nil
+}
+
+// ReplaceWriter starts a tracked streaming safe replace; the retired old
+// version and the new live bytes are charged when the returned writer
+// commits.
+func (a *AgeTracker) ReplaceWriter(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	// The stat models the application's metadata lookup before a safe
+	// write and snapshots the old size for keys the tracker has never
+	// routed (a store populated before the tracker attached).
+	var snapSize int64
+	snapOK := false
+	if info, err := a.store.Stat(ctx, key); err == nil {
+		snapSize, snapOK = info.Size, true
+	}
+	w, err := a.store.Replace(ctx, key, size)
+	if err != nil {
+		return nil, err
+	}
+	return &trackedWriter{Writer: w, tracker: a, key: key, size: size, snapSize: snapSize, snapOK: snapOK}, nil
+}
+
+// trackedWriter charges the storage-age counters at Commit time.
+type trackedWriter struct {
+	blob.Writer
+	tracker  *AgeTracker
+	key      string
+	size     int64
+	snapSize int64
+	snapOK   bool
+	charged  bool
+}
+
+// Commit commits the underlying writer, then charges the metric.
+func (w *trackedWriter) Commit() error {
+	if err := w.Writer.Commit(); err != nil {
+		return err
+	}
+	if !w.charged {
+		w.tracker.commitWrite(w.key, w.size, w.snapSize, w.snapOK)
+		w.charged = true
+	}
+	return nil
+}
+
+// Put stores a new whole-buffer object through the tracker.
+func (a *AgeTracker) Put(ctx context.Context, key string, size int64, data []byte) error {
+	w, err := a.CreateWriter(ctx, key, size)
+	if err != nil {
+		return err
+	}
+	return blob.WriteAll(w, size, data)
+}
+
+// Replace performs a whole-buffer safe replace, retiring the old
+// version's bytes at commit.
+func (a *AgeTracker) Replace(ctx context.Context, key string, size int64, data []byte) error {
+	w, err := a.ReplaceWriter(ctx, key, size)
+	if err != nil {
+		return err
+	}
+	return blob.WriteAll(w, size, data)
+}
+
+// Delete removes an object, retiring its bytes.
+func (a *AgeTracker) Delete(ctx context.Context, key string) error {
+	info, err := a.store.Stat(ctx, key)
+	if err != nil {
+		return err
+	}
+	if err := a.store.Delete(ctx, key); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := info.Size
+	if e, known := a.sizes[key]; known && e.live {
+		old = e.size
+	}
+	a.retiredBytes += old
+	a.liveBytes -= old
+	a.sizes[key] = trackedSize{live: false}
+	return nil
+}

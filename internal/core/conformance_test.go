@@ -1,0 +1,26 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blob/conformance"
+	"repro/internal/core"
+	"repro/internal/vclock"
+)
+
+// TestFileStoreConformance runs the cross-backend contract suite against
+// the filesystem backend.
+func TestFileStoreConformance(t *testing.T) {
+	conformance.Run(t, func(opts ...blob.Option) blob.Store {
+		return core.NewFileStore(vclock.New(), opts...)
+	})
+}
+
+// TestDBStoreConformance runs the cross-backend contract suite against
+// the database backend.
+func TestDBStoreConformance(t *testing.T) {
+	conformance.Run(t, func(opts ...blob.Option) blob.Store {
+		return core.NewDBStore(vclock.New(), opts...)
+	})
+}

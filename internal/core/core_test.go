@@ -2,9 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
+	"repro/internal/blob"
 	"repro/internal/disk"
 	"repro/internal/extent"
 	"repro/internal/units"
@@ -12,42 +15,43 @@ import (
 )
 
 func newStores(capacity int64, mode disk.Mode) (*FileStore, *DBStore) {
-	fsStore := NewFileStore(vclock.New(), FileStoreOptions{Capacity: capacity, DiskMode: mode})
-	dbStore := NewDBStore(vclock.New(), DBStoreOptions{Capacity: capacity, DiskMode: mode})
+	fsStore := NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(mode))
+	dbStore := NewDBStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(mode))
 	return fsStore, dbStore
 }
 
-func eachStore(t *testing.T, capacity int64, mode disk.Mode, fn func(t *testing.T, r Repository)) {
+func eachStore(t *testing.T, capacity int64, mode disk.Mode, fn func(t *testing.T, s blob.Store)) {
 	fsStore, dbStore := newStores(capacity, mode)
-	for _, r := range []Repository{fsStore, dbStore} {
-		t.Run(r.Name(), func(t *testing.T) { fn(t, r) })
+	for _, s := range []blob.Store{fsStore, dbStore} {
+		t.Run(s.Name(), func(t *testing.T) { fn(t, s) })
 	}
 }
 
-func TestRepositoryContract(t *testing.T) {
-	eachStore(t, 128*units.MB, disk.DataMode, func(t *testing.T, r Repository) {
+func TestStoreContract(t *testing.T) {
+	ctx := context.Background()
+	eachStore(t, 128*units.MB, disk.DataMode, func(t *testing.T, s blob.Store) {
 		data := make([]byte, 200*units.KB)
 		for i := range data {
 			data[i] = byte(i)
 		}
-		if err := r.Put("a", int64(len(data)), data); err != nil {
+		if err := blob.Put(ctx, s, "a", int64(len(data)), data); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.Put("a", int64(len(data)), data); err == nil {
-			t.Fatal("duplicate Put succeeded")
+		if err := blob.Put(ctx, s, "a", int64(len(data)), data); !errors.Is(err, blob.ErrAlreadyExists) {
+			t.Fatalf("duplicate Put = %v, want ErrAlreadyExists", err)
 		}
-		n, got, err := r.Get("a")
+		n, got, err := blob.Get(ctx, s, "a")
 		if err != nil || n != int64(len(data)) {
 			t.Fatalf("Get = %d, %v", n, err)
 		}
 		if !bytes.Equal(got, data) {
 			t.Fatal("Get payload mismatch")
 		}
-		if size, err := r.Stat("a"); err != nil || size != int64(len(data)) {
-			t.Fatalf("Stat = %d, %v", size, err)
+		if info, err := s.Stat(ctx, "a"); err != nil || info.Size != int64(len(data)) {
+			t.Fatalf("Stat = %+v, %v", info, err)
 		}
-		if r.ObjectCount() != 1 || r.LiveBytes() != int64(len(data)) {
-			t.Fatalf("count=%d live=%d", r.ObjectCount(), r.LiveBytes())
+		if s.ObjectCount() != 1 || s.LiveBytes() != int64(len(data)) {
+			t.Fatalf("count=%d live=%d", s.ObjectCount(), s.LiveBytes())
 		}
 
 		// Replace with different contents.
@@ -55,41 +59,42 @@ func TestRepositoryContract(t *testing.T) {
 		for i := range data2 {
 			data2[i] = byte(255 - i%256)
 		}
-		if err := r.Replace("a", int64(len(data2)), data2); err != nil {
+		if err := blob.Replace(ctx, s, "a", int64(len(data2)), data2); err != nil {
 			t.Fatal(err)
 		}
-		_, got, _ = r.Get("a")
+		_, got, _ = blob.Get(ctx, s, "a")
 		if !bytes.Equal(got, data2) {
 			t.Fatal("Replace payload mismatch")
 		}
-		if r.LiveBytes() != int64(len(data2)) {
-			t.Fatalf("LiveBytes after replace = %d", r.LiveBytes())
+		if s.LiveBytes() != int64(len(data2)) {
+			t.Fatalf("LiveBytes after replace = %d", s.LiveBytes())
 		}
 
-		if err := r.Delete("a"); err != nil {
+		if err := s.Delete(ctx, "a"); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := r.Get("a"); err == nil {
-			t.Fatal("Get after Delete succeeded")
+		if _, _, err := blob.Get(ctx, s, "a"); !errors.Is(err, blob.ErrNotFound) {
+			t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
 		}
-		if err := r.Delete("a"); err == nil {
-			t.Fatal("double Delete succeeded")
+		if err := s.Delete(ctx, "a"); !errors.Is(err, blob.ErrNotFound) {
+			t.Fatalf("double Delete = %v, want ErrNotFound", err)
 		}
-		if r.ObjectCount() != 0 || r.LiveBytes() != 0 {
-			t.Fatalf("count=%d live=%d after delete", r.ObjectCount(), r.LiveBytes())
+		if s.ObjectCount() != 0 || s.LiveBytes() != 0 {
+			t.Fatalf("count=%d live=%d after delete", s.ObjectCount(), s.LiveBytes())
 		}
 	})
 }
 
-func TestRepositoryRunsAndTags(t *testing.T) {
-	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, r Repository) {
+func TestStoreRunsAndTags(t *testing.T) {
+	ctx := context.Background()
+	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, s blob.Store) {
 		for i := 0; i < 5; i++ {
-			if err := r.Put(fmt.Sprintf("o%d", i), 256*units.KB, nil); err != nil {
+			if err := blob.Put(ctx, s, fmt.Sprintf("o%d", i), 256*units.KB, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
 		seenRuns := map[string]bool{}
-		r.EachObjectRuns(func(key string, bytes int64, runs []extent.Run) {
+		s.EachObjectRuns(func(key string, bytes int64, runs []extent.Run) {
 			_ = runs
 			seenRuns[key] = true
 			if bytes != 256*units.KB {
@@ -100,7 +105,7 @@ func TestRepositoryRunsAndTags(t *testing.T) {
 			t.Fatalf("EachObjectRuns visited %d objects", len(seenRuns))
 		}
 		seenTags := map[uint32]bool{}
-		r.EachObjectTag(func(key string, tag uint32) {
+		s.EachObjectTag(func(key string, tag uint32) {
 			if tag == 0 {
 				t.Fatalf("object %s has zero tag", key)
 			}
@@ -116,11 +121,12 @@ func TestRepositoryRunsAndTags(t *testing.T) {
 }
 
 func TestAgeTracker(t *testing.T) {
+	ctx := context.Background()
 	fsStore, _ := newStores(128*units.MB, disk.MetadataMode)
 	tr := NewAgeTracker(fsStore)
 	const size = 1 * units.MB
 	for i := 0; i < 10; i++ {
-		if err := tr.Put(fmt.Sprintf("o%d", i), size, nil); err != nil {
+		if err := tr.Put(ctx, fmt.Sprintf("o%d", i), size, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -132,7 +138,7 @@ func TestAgeTracker(t *testing.T) {
 	}
 	// Replace every object once: age 1 ("safe writes per object").
 	for i := 0; i < 10; i++ {
-		if err := tr.Replace(fmt.Sprintf("o%d", i), size, nil); err != nil {
+		if err := tr.Replace(ctx, fmt.Sprintf("o%d", i), size, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,7 +147,7 @@ func TestAgeTracker(t *testing.T) {
 	}
 	// Again: age 2.
 	for i := 0; i < 10; i++ {
-		if err := tr.Replace(fmt.Sprintf("o%d", i), size, nil); err != nil {
+		if err := tr.Replace(ctx, fmt.Sprintf("o%d", i), size, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -149,7 +155,7 @@ func TestAgeTracker(t *testing.T) {
 		t.Fatalf("age = %g, want 2", got)
 	}
 	// Deletes retire bytes too.
-	if err := tr.Delete("o0"); err != nil {
+	if err := tr.Delete(ctx, "o0"); err != nil {
 		t.Fatal(err)
 	}
 	wantAge := float64(21*size) / float64(9*size)
@@ -162,21 +168,124 @@ func TestAgeTracker(t *testing.T) {
 	}
 }
 
+// TestAgeTrackerChargesAtCommit pins the streaming-writer accounting
+// rule: retired/live bytes move when a stream COMMITS, not when the
+// writer is handed out, and never for aborted streams.
+func TestAgeTrackerChargesAtCommit(t *testing.T) {
+	ctx := context.Background()
+	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, s blob.Store) {
+		tr := NewAgeTracker(s)
+		if err := tr.Put(ctx, "a", 1*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+
+		// An in-flight replace stream charges nothing...
+		w, err := tr.ReplaceWriter(ctx, "a", 2*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(1*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if tr.RetiredBytes() != 0 || tr.LiveBytes() != 1*units.MB {
+			t.Fatalf("buffer hand-off charged: retired=%d live=%d", tr.RetiredBytes(), tr.LiveBytes())
+		}
+		// ...until Commit, which retires the old version and swaps the
+		// live count to the new size.
+		if err := w.Append(1*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.RetiredBytes() != 1*units.MB || tr.LiveBytes() != 2*units.MB {
+			t.Fatalf("commit charge wrong: retired=%d live=%d", tr.RetiredBytes(), tr.LiveBytes())
+		}
+
+		// An aborted stream charges nothing at all.
+		w2, err := tr.ReplaceWriter(ctx, "a", 4*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Append(1*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.RetiredBytes() != 1*units.MB || tr.LiveBytes() != 2*units.MB {
+			t.Fatalf("abort charged: retired=%d live=%d", tr.RetiredBytes(), tr.LiveBytes())
+		}
+
+		// A tracked create charges live bytes at commit only.
+		w3, err := tr.CreateWriter(ctx, "b", 1*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w3.Append(1*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if tr.LiveBytes() != 2*units.MB {
+			t.Fatalf("create charged before commit: live=%d", tr.LiveBytes())
+		}
+		if err := w3.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.LiveBytes() != 3*units.MB {
+			t.Fatalf("create commit charge wrong: live=%d", tr.LiveBytes())
+		}
+	})
+}
+
+// TestAgeTrackerDeleteDuringReplaceStream pins that a tracked Delete
+// interleaved with an open ReplaceWriter retires the old version
+// exactly once: the delete invalidates the snapshot the writer took at
+// open, so the commit charges only the create.
+func TestAgeTrackerDeleteDuringReplaceStream(t *testing.T) {
+	ctx := context.Background()
+	eachStore(t, 128*units.MB, disk.MetadataMode, func(t *testing.T, s blob.Store) {
+		tr := NewAgeTracker(s)
+		if err := tr.Put(ctx, "a", 1*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		w, err := tr.ReplaceWriter(ctx, "a", 2*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Delete(ctx, "a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(2*units.MB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.RetiredBytes() != 1*units.MB {
+			t.Fatalf("old version retired twice: retired=%d, want %d", tr.RetiredBytes(), 1*units.MB)
+		}
+		if tr.LiveBytes() != 2*units.MB || tr.LiveBytes() != s.LiveBytes() {
+			t.Fatalf("live drifted: tracker=%d store=%d", tr.LiveBytes(), s.LiveBytes())
+		}
+	})
+}
+
 func TestAgeIndependentOfVolumeSize(t *testing.T) {
 	// §4.4: "Storage age is independent of volume size and update
 	// strategy." Same object count and churn on different volumes must
 	// report identical ages.
+	ctx := context.Background()
 	ages := make([]float64, 0, 2)
 	for _, capacity := range []int64{128 * units.MB, 512 * units.MB} {
-		s := NewFileStore(vclock.New(), FileStoreOptions{Capacity: capacity, DiskMode: disk.MetadataMode})
+		s := NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
 		tr := NewAgeTracker(s)
 		for i := 0; i < 8; i++ {
-			if err := tr.Put(fmt.Sprintf("o%d", i), 1*units.MB, nil); err != nil {
+			if err := tr.Put(ctx, fmt.Sprintf("o%d", i), 1*units.MB, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i := 0; i < 20; i++ {
-			if err := tr.Replace(fmt.Sprintf("o%d", i%8), 1*units.MB, nil); err != nil {
+			if err := tr.Replace(ctx, fmt.Sprintf("o%d", i%8), 1*units.MB, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -187,21 +296,49 @@ func TestAgeIndependentOfVolumeSize(t *testing.T) {
 	}
 }
 
+// TestTempLookalikeKeySurvives pins that a committed object whose key
+// happens to match the safe-write temp-file convention is never
+// mistaken for a crashed stream's leftover and destroyed.
+func TestTempLookalikeKeySurvives(t *testing.T) {
+	ctx := context.Background()
+	s := NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
+	if err := blob.Put(ctx, s, "a.tmp~", 1*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Writing to "a" would use "a.tmp~" as its scratch name; the name is
+	// taken by a real object, so the writer must fail instead of
+	// deleting it.
+	if err := blob.Put(ctx, s, "a", 1*units.MB, nil); err == nil {
+		t.Fatal("Create of a succeeded despite its temp name being a live object")
+	}
+	if info, err := s.Stat(ctx, "a.tmp~"); err != nil || info.Size != 1*units.MB {
+		t.Fatalf("temp-lookalike object damaged: %+v, %v", info, err)
+	}
+	if s.LiveBytes() != 1*units.MB || s.ObjectCount() != 1 {
+		t.Fatalf("accounting damaged: live=%d count=%d", s.LiveBytes(), s.ObjectCount())
+	}
+}
+
 func TestSafeReplaceNeverLosesOldVersionOnFailure(t *testing.T) {
 	// Fill a small store so a Replace cannot fit: old version must
 	// survive on both backends.
-	eachStore(t, 16*units.MB, disk.MetadataMode, func(t *testing.T, r Repository) {
-		if err := r.Put("a", 6*units.MB, nil); err != nil {
+	ctx := context.Background()
+	eachStore(t, 16*units.MB, disk.MetadataMode, func(t *testing.T, s blob.Store) {
+		if err := blob.Put(ctx, s, "a", 6*units.MB, nil); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.Put("b", 6*units.MB, nil); err != nil {
+		if err := blob.Put(ctx, s, "b", 6*units.MB, nil); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.Replace("a", 6*units.MB, nil); err == nil {
+		err := blob.Replace(ctx, s, "a", 6*units.MB, nil)
+		if err == nil {
 			t.Skip("store had room; semantics not exercised")
 		}
-		if size, err := r.Stat("a"); err != nil || size != 6*units.MB {
-			t.Fatalf("old version damaged: size=%d err=%v", size, err)
+		if !errors.Is(err, blob.ErrNoSpaceLeft) {
+			t.Fatalf("failed replace = %v, want ErrNoSpaceLeft", err)
+		}
+		if info, err := s.Stat(ctx, "a"); err != nil || info.Size != 6*units.MB {
+			t.Fatalf("old version damaged: info=%+v err=%v", info, err)
 		}
 	})
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"repro/internal/blob"
 	"repro/internal/db"
 	"repro/internal/disk"
 	"repro/internal/extent"
@@ -11,50 +14,39 @@ import (
 	"repro/internal/vclock"
 )
 
-// FileStoreOptions configures a filesystem-backed repository.
-type FileStoreOptions struct {
-	// Capacity is the data volume size in bytes.
-	Capacity int64
-	// DiskMode selects payload retention (DataMode for integrity tests).
-	DiskMode disk.Mode
-	// Geometry overrides the data drive geometry; zero takes
-	// disk.DefaultGeometry(Capacity).
-	Geometry *disk.Geometry
-	// FS configures the filesystem volume.
-	FS fs.Config
-	// WriteRequestSize is the safe-write append request size; the paper
-	// used 64 KB (§5.3). 0 takes 64 KB; negative writes whole objects in
-	// one request.
-	WriteRequestSize int64
-	// SizeHint passes object sizes to the allocator before the first
-	// append — the paper's proposed interface change (§6), off by
-	// default as no such interface existed.
-	SizeHint bool
-	// MetaCapacity sizes the metadata database drive (default 1 GB).
-	MetaCapacity int64
-	// NoOwnerMap skips the per-cluster owner map on the data drive (for
-	// very large simulated volumes); the marker scanner is unavailable.
-	NoOwnerMap bool
-}
-
-// FileStore is the paper's file-based configuration (§4.1): each object
-// in its own file on a dedicated NTFS-analog volume, with object names
-// and metadata in database tables. The database isolates clients from
-// physical location; here it charges the metadata costs of that design.
+// FileStore is the paper's file-based configuration (§4.1) behind the v2
+// blob.Store API: each object in its own file on a dedicated NTFS-analog
+// volume, with object names and metadata in database tables. The
+// database isolates clients from physical location; here it charges the
+// metadata costs of that design.
+//
+// Writers stream: Create/Replace open a temporary file, appends flow to
+// the allocator in request-sized chunks, and Commit forces the data and
+// atomically renames over the permanent file — the paper's safe-write
+// protocol (§4) driven through a handle instead of one buffer.
+//
+// The store is safe for concurrent callers: per-key striped locks order
+// operations on the same key, and an internal mutex serializes access to
+// the single-threaded volume and metadata engines beneath.
 type FileStore struct {
 	vol   *fs.Volume
 	meta  *db.MetaTable
 	clock *vclock.Clock
-	opts  FileStoreOptions
+	opts  blob.Options
 
+	locks blob.KeyLocks
+
+	mu        sync.Mutex // guards vol, meta, liveBytes, inflight
 	liveBytes int64
+	inflight  map[string]bool // keys with an uncommitted writer
 }
 
-// NewFileStore builds a file-backed repository on a fresh simulated
-// drive pair sharing clock.
-func NewFileStore(clock *vclock.Clock, opts FileStoreOptions) *FileStore {
+// NewFileStore builds a file-backed store on a fresh simulated drive
+// pair sharing clock. blob.WithCapacity is required.
+func NewFileStore(clock *vclock.Clock, options ...blob.Option) *FileStore {
+	opts := blob.NewOptions(options...)
 	if opts.Capacity <= 0 {
-		panic("core: FileStoreOptions.Capacity required")
+		panic("core: NewFileStore requires blob.WithCapacity")
 	}
 	if opts.WriteRequestSize == 0 {
 		opts.WriteRequestSize = 64 * units.KB
@@ -71,96 +63,296 @@ func NewFileStore(clock *vclock.Clock, opts FileStoreOptions) *FileStore {
 		diskOpts = append(diskOpts, disk.WithoutOwnerMap())
 	}
 	dataDrive := disk.New(geo, clock, opts.DiskMode, diskOpts...)
-	vol := fs.Format(dataDrive, opts.FS)
+	vol := fs.Format(dataDrive, fs.Config{DelayedAllocation: opts.DelayedAllocation})
 	// Metadata database on its own drive pair, as the paper's deployment
 	// gave SQL Server dedicated drives (§4.1).
 	metaData := disk.New(disk.DefaultGeometry(opts.MetaCapacity), clock, disk.MetadataMode)
 	metaLog := disk.New(disk.DefaultGeometry(256*units.MB), clock, disk.MetadataMode)
 	metaDB := db.Open(metaData, metaLog, db.Config{})
 	return &FileStore{
-		vol:   vol,
-		meta:  metaDB.NewMetaTable("objects"),
-		clock: clock,
-		opts:  opts,
+		vol:      vol,
+		meta:     metaDB.NewMetaTable("objects"),
+		clock:    clock,
+		opts:     opts,
+		inflight: make(map[string]bool),
 	}
 }
 
-// Name implements Repository.
+// Name implements blob.Store.
 func (s *FileStore) Name() string { return "filesystem" }
 
 // Volume exposes the underlying filesystem for analysis tools.
 func (s *FileStore) Volume() *fs.Volume { return s.vol }
 
-// Clock implements Repository.
+// Clock implements blob.Store.
 func (s *FileStore) Clock() *vclock.Clock { return s.clock }
 
-func (s *FileStore) safeWriteOpts() fs.SafeWriteOptions {
-	return fs.SafeWriteOptions{
-		WriteRequestSize: s.opts.WriteRequestSize,
-		SizeHint:         s.opts.SizeHint,
+// Open implements blob.Store.
+func (s *FileStore) Open(ctx context.Context, key string) (blob.Reader, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-}
-
-// Put implements Repository.
-func (s *FileStore) Put(key string, size int64, data []byte) error {
-	if _, ok := s.vol.Lookup(key); ok {
-		return fmt.Errorf("%w: %s", fs.ErrExist, key)
-	}
-	if err := s.meta.Insert(key); err != nil {
-		return err
-	}
-	if err := s.vol.SafeWrite(key, size, data, s.safeWriteOpts()); err != nil {
-		// Roll the metadata row back so the two stores stay consistent —
-		// the synchronization burden §3.1 calls out for hybrid designs.
-		_ = s.meta.Delete(key)
-		return err
-	}
-	s.liveBytes += size
-	return nil
-}
-
-// Get implements Repository.
-func (s *FileStore) Get(key string) (int64, []byte, error) {
+	s.locks.RLock(key)
+	defer s.locks.RUnlock(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.meta.Lookup(key) {
-		return 0, nil, fmt.Errorf("%w: %s", fs.ErrNotExist, key)
+		return nil, fmt.Errorf("%w: %s", blob.ErrNotFound, key)
 	}
 	f, err := s.vol.Open(key)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	data := f.ReadAll()
-	return f.Size(), data, nil
+	return &fileReader{s: s, ctx: ctx, key: key, f: f, size: f.Size()}, nil
 }
 
-// Replace implements Repository (a safe write, §4).
-func (s *FileStore) Replace(key string, size int64, data []byte) error {
-	old, hadOld := s.vol.Lookup(key)
+// fileReader is a read handle over one committed file version.
+type fileReader struct {
+	s      *FileStore
+	ctx    context.Context
+	key    string
+	f      *fs.File
+	size   int64
+	closed bool
+}
+
+// Size implements blob.Reader.
+func (r *fileReader) Size() int64 { return r.size }
+
+// validate returns the current file iff the handle is live and still
+// names the version opened. Callers hold r.s.mu.
+func (r *fileReader) validate() (*fs.File, error) {
+	if r.closed {
+		return nil, fmt.Errorf("%w: reader for %s", blob.ErrClosed, r.key)
+	}
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	cur, ok := r.s.vol.Lookup(r.key)
+	if !ok || cur != r.f {
+		return nil, fmt.Errorf("%w: %s (version replaced or deleted)", blob.ErrNotFound, r.key)
+	}
+	return cur, nil
+}
+
+// ReadAll implements blob.Reader.
+func (r *fileReader) ReadAll() ([]byte, error) {
+	r.s.locks.RLock(r.key)
+	defer r.s.locks.RUnlock(r.key)
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	f, err := r.validate()
+	if err != nil {
+		return nil, err
+	}
+	return f.ReadAll(), nil
+}
+
+// ReadAt implements blob.Reader.
+func (r *fileReader) ReadAt(off, length int64) ([]byte, error) {
+	r.s.locks.RLock(r.key)
+	defer r.s.locks.RUnlock(r.key)
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	f, err := r.validate()
+	if err != nil {
+		return nil, err
+	}
+	return f.ReadAt(off, length)
+}
+
+// Close implements blob.Reader.
+func (r *fileReader) Close() error {
+	r.closed = true
+	return nil
+}
+
+// Create implements blob.Store.
+func (s *FileStore) Create(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	return s.newWriter(ctx, key, size, false)
+}
+
+// Replace implements blob.Store: a streaming safe write (§4).
+func (s *FileStore) Replace(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	return s.newWriter(ctx, key, size, true)
+}
+
+func (s *FileStore) newWriter(ctx context.Context, key string, size int64, replace bool) (blob.Writer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: write of %d bytes to %s", blob.ErrInvalidSize, size, key)
+	}
+	s.locks.Lock(key)
+	defer s.locks.Unlock(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[key] {
+		return nil, fmt.Errorf("%w: %s", blob.ErrBusy, key)
+	}
+	if _, exists := s.vol.Lookup(key); exists && !replace {
+		return nil, fmt.Errorf("%w: %s", blob.ErrAlreadyExists, key)
+	}
+	tmp := fs.TempName(key)
+	// A leftover temp from a previous crashed attempt is replaced.
+	// Committed objects always have a metadata row and temps never do,
+	// so a row under the temp name means a real object happens to be
+	// named like our scratch file — leave it alone (the Create below
+	// then fails instead of destroying it).
+	if _, ok := s.vol.Lookup(tmp); ok && !s.meta.Lookup(tmp) {
+		if err := s.vol.Delete(tmp); err != nil {
+			return nil, err
+		}
+	}
+	f, err := s.vol.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.SizeHint {
+		if err := f.SetSizeHint(size); err != nil {
+			_ = s.vol.Delete(tmp)
+			return nil, err
+		}
+	}
+	s.inflight[key] = true
+	return &fileWriter{s: s, ctx: ctx, key: key, tmp: tmp, f: f,
+		state: blob.NewStreamState(key, size), size: size, replace: replace}, nil
+}
+
+// fileWriter streams one safe write: appends land in a temp file in
+// request-sized chunks; Commit closes (forcing the data) and atomically
+// renames over the permanent file.
+type fileWriter struct {
+	s       *FileStore
+	ctx     context.Context
+	key     string
+	tmp     string
+	f       *fs.File
+	state   blob.StreamState
+	size    int64 // declared total
+	replace bool
+}
+
+// Append implements blob.Writer.
+func (w *fileWriter) Append(n int64, data []byte) error {
+	if err := w.state.BeginAppend(w.ctx, n, data); err != nil {
+		return err
+	}
+	// Each write request reaches the allocator separately — the paper's
+	// §5.3 request granularity, now owned by the store.
+	req := w.s.opts.WriteRequestSize
+	if req <= 0 {
+		req = n
+	}
+	for off := int64(0); off < n; off += req {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+		c := min(req, n-off)
+		var chunk []byte
+		if data != nil {
+			chunk = data[off : off+c]
+		}
+		w.s.locks.Lock(w.key)
+		w.s.mu.Lock()
+		err := w.f.Append(c, chunk)
+		w.s.mu.Unlock()
+		w.s.locks.Unlock(w.key)
+		if err != nil {
+			return err
+		}
+		w.state.NoteAppended(c)
+	}
+	return nil
+}
+
+// Write implements io.Writer over Append.
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if err := w.Append(int64(len(p)), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Commit implements blob.Writer: the atomic publish point.
+func (w *fileWriter) Commit() error {
+	if err := w.state.BeginCommit(w.ctx); err != nil {
+		return err
+	}
+	w.s.locks.Lock(w.key)
+	defer w.s.locks.Unlock(w.key)
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	// Close forces the data (and performs allocation under delayed
+	// allocation — the one step that can still run out of space).
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	old, hadOld := w.s.vol.Lookup(w.key)
 	var oldSize int64
 	if hadOld {
 		oldSize = old.Size()
 	}
-	if err := s.vol.SafeWrite(key, size, data, s.safeWriteOpts()); err != nil {
+	// Metadata first: the row mutation is the step that can fail (meta
+	// drive full), so it happens before anything becomes visible. On a
+	// failure the writer stays open and Abort discards the temp.
+	if hadOld {
+		if err := w.s.meta.Update(w.key); err != nil {
+			return err
+		}
+	} else {
+		if err := w.s.meta.Insert(w.key); err != nil {
+			return err
+		}
+	}
+	// Atomic commit point (ReplaceFile/rename(2) semantics). Rename of
+	// a held temp cannot legitimately fail; roll the row back if it
+	// somehow does — the synchronization burden §3.1 calls out.
+	if err := w.s.vol.Rename(w.tmp, w.key); err != nil {
+		if !hadOld {
+			_ = w.s.meta.Delete(w.key)
+		}
 		return err
 	}
 	if hadOld {
-		if err := s.meta.Update(key); err != nil {
-			return err
-		}
-		s.liveBytes -= oldSize
-	} else {
-		if err := s.meta.Insert(key); err != nil {
-			return err
-		}
+		w.s.liveBytes -= oldSize
 	}
-	s.liveBytes += size
+	w.s.liveBytes += w.size
+	delete(w.s.inflight, w.key)
+	w.state.Close()
 	return nil
 }
 
-// Delete implements Repository.
-func (s *FileStore) Delete(key string) error {
+// Abort implements blob.Writer: the previous version is untouched.
+func (w *fileWriter) Abort() error {
+	if w.state.Closed() {
+		return nil
+	}
+	w.s.locks.Lock(w.key)
+	defer w.s.locks.Unlock(w.key)
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	if _, ok := w.s.vol.Lookup(w.tmp); ok {
+		_ = w.s.vol.Delete(w.tmp)
+	}
+	delete(w.s.inflight, w.key)
+	w.state.Close()
+	return nil
+}
+
+// Delete implements blob.Store.
+func (s *FileStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.locks.Lock(key)
+	defer s.locks.Unlock(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, ok := s.vol.Lookup(key)
 	if !ok {
-		return fmt.Errorf("%w: %s", fs.ErrNotExist, key)
+		return fmt.Errorf("%w: %s", blob.ErrNotFound, key)
 	}
 	size := f.Size()
 	if err := s.vol.Delete(key); err != nil {
@@ -173,42 +365,85 @@ func (s *FileStore) Delete(key string) error {
 	return nil
 }
 
-// Stat implements Repository.
-func (s *FileStore) Stat(key string) (int64, error) {
+// Stat implements blob.Store.
+func (s *FileStore) Stat(ctx context.Context, key string) (blob.Info, error) {
+	if err := ctx.Err(); err != nil {
+		return blob.Info{}, err
+	}
+	s.locks.RLock(key)
+	defer s.locks.RUnlock(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, ok := s.vol.Lookup(key)
 	if !ok {
-		return 0, fmt.Errorf("%w: %s", fs.ErrNotExist, key)
+		return blob.Info{}, fmt.Errorf("%w: %s", blob.ErrNotFound, key)
 	}
-	return f.Size(), nil
+	return blob.Info{Key: key, Size: f.Size()}, nil
 }
 
-// Keys implements Repository.
-func (s *FileStore) Keys() []string { return s.vol.Names() }
+// Keys implements blob.Store.
+func (s *FileStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := s.vol.Names()
+	out := names[:0]
+	for _, n := range names {
+		if !s.inflightTemp(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
-// ObjectCount implements Repository.
-func (s *FileStore) ObjectCount() int { return s.vol.FileCount() }
+// inflightTemp reports whether name is the temp file of an uncommitted
+// writer (callers hold s.mu).
+func (s *FileStore) inflightTemp(name string) bool {
+	if len(name) <= len(fs.TempSuffix) || name[len(name)-len(fs.TempSuffix):] != fs.TempSuffix {
+		return false
+	}
+	return s.inflight[name[:len(name)-len(fs.TempSuffix)]]
+}
 
-// LiveBytes implements Repository.
-func (s *FileStore) LiveBytes() int64 { return s.liveBytes }
+// ObjectCount implements blob.Store.
+func (s *FileStore) ObjectCount() int { return len(s.Keys()) }
 
-// FreeBytes implements Repository.
-func (s *FileStore) FreeBytes() int64 { return s.vol.FreeBytes() }
+// LiveBytes implements blob.Store.
+func (s *FileStore) LiveBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveBytes
+}
 
-// CapacityBytes implements Repository.
+// FreeBytes implements blob.Store.
+func (s *FileStore) FreeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vol.FreeBytes()
+}
+
+// CapacityBytes implements blob.Store.
 func (s *FileStore) CapacityBytes() int64 { return s.vol.CapacityBytes() }
 
 // EachObjectRuns implements frag.Source.
 func (s *FileStore) EachObjectRuns(fn func(key string, bytes int64, runs []extent.Run)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.vol.EachFile(func(f *fs.File) {
-		fn(f.Name(), f.Size(), f.Runs())
+		if !s.inflightTemp(f.Name()) {
+			fn(f.Name(), f.Size(), f.Runs())
+		}
 	})
 }
 
 // EachObjectTag implements frag.TagSource.
 func (s *FileStore) EachObjectTag(fn func(key string, tag uint32)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.vol.EachFile(func(f *fs.File) {
-		fn(f.Name(), f.Tag())
+		if !s.inflightTemp(f.Name()) {
+			fn(f.Name(), f.Tag())
+		}
 	})
 }
 
-var _ Repository = (*FileStore)(nil)
+var _ blob.Store = (*FileStore)(nil)

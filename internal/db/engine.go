@@ -1,20 +1,22 @@
 package db
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/blob"
 	"repro/internal/disk"
 	"repro/internal/extent"
 	"repro/internal/units"
 )
 
-// Errors returned by engine operations.
+// Errors returned by engine operations. Each is the corresponding blob
+// sentinel, so errors.Is(err, blob.ErrNotFound) and friends hold through
+// the database layer without translation.
 var (
-	ErrNotFound = errors.New("db: object not found")
-	ErrExists   = errors.New("db: object already exists")
-	ErrNoSpace  = errors.New("db: data file full")
-	ErrCrashed  = errors.New("db: simulated crash")
+	ErrNotFound = blob.ErrNotFound
+	ErrExists   = blob.ErrAlreadyExists
+	ErrNoSpace  = blob.ErrNoSpaceLeft
+	ErrCrashed  = blob.ErrCrashed
 )
 
 // Config describes a database instance. Zero-value fields take defaults.
@@ -320,10 +322,10 @@ func (d *Database) Replace(key string, size int64, data []byte) error {
 
 func (d *Database) write(key string, size int64, data []byte, replace bool) error {
 	if size <= 0 {
-		return fmt.Errorf("db: write of %d bytes to %s", size, key)
+		return fmt.Errorf("%w: write of %d bytes to %s", blob.ErrInvalidSize, size, key)
 	}
 	if data != nil && int64(len(data)) != size {
-		return fmt.Errorf("db: data length %d != size %d", len(data), size)
+		return fmt.Errorf("%w: data length %d != size %d", blob.ErrInvalidSize, len(data), size)
 	}
 	t := d.begin(key)
 	tag := d.nextTag
@@ -399,29 +401,60 @@ func (d *Database) SimulateCrash() {
 	}
 }
 
-// Get reads an object, charging the row lookup, fragment-tree node reads
-// (through the buffer pool), and one disk request per physically
-// contiguous page run. The returned payload is non-nil only in data mode.
+// Get reads an object whole — a full-range GetRange, so the two read
+// paths can never drift on simulated costs. The returned payload is
+// non-nil only in data mode.
 func (d *Database) Get(key string) ([]byte, error) {
 	r, ok := d.rows[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
+	return d.GetRange(key, 0, r.size)
+}
+
+// GetRange reads the byte range [off, off+length) of an object, charging
+// the row lookup, the fragment-tree node reads, and one disk request per
+// physically contiguous run of the pages covering the range — the
+// engine-side half of the v2 store's ranged reads. The returned payload
+// is non-nil only in data mode.
+func (d *Database) GetRange(key string, off, length int64) ([]byte, error) {
+	r, ok := d.rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	// length > r.size-off rather than off+length > r.size: the sum can
+	// overflow int64 for hostile offsets, the subtraction cannot.
+	if off < 0 || length < 0 || length > r.size-off {
+		return nil, fmt.Errorf("%w: [%d,+%d) beyond size %d of %s", blob.ErrOutOfRange, off, length, r.size, key)
+	}
 	d.data.ChargeCPU(d.cfg.RowCPUUs)
+	if length == 0 {
+		return nil, nil
+	}
 	for _, p := range r.nodes {
 		if !d.pool.Access(p) {
 			d.data.ReadRun(d.clusterRun(PageRun{Start: p, Len: 1}))
 		}
 	}
-	runs := CoalescePageRuns(r.pages)
+	// Map the byte range onto the page list. Write requests that are not
+	// page multiples allocate a fresh page per request, so the list can
+	// be longer than CeilDiv(size, PageSize); a range reaching the
+	// object's end therefore covers every trailing page.
+	firstP := off / PageSize
+	lastP := (off + length - 1) / PageSize
+	if last := int64(len(r.pages)) - 1; lastP > last || off+length == r.size {
+		lastP = last
+	}
+	touched := r.pages[firstP : lastP+1]
+	runs := CoalescePageRuns(touched)
 	for _, pr := range runs {
 		d.data.ReadRun(d.clusterRun(pr))
 	}
-	d.data.ChargeCPU(d.cfg.PageCPUUs * float64(len(r.pages)))
+	d.data.ChargeCPU(d.cfg.PageCPUUs * float64(len(touched)))
 	d.statGets++
-	if r.data != nil {
-		out := make([]byte, len(r.data))
-		copy(out, r.data)
+	if r.data != nil && off+length <= int64(len(r.data)) {
+		out := make([]byte, length)
+		copy(out, r.data[off:off+length])
 		return out, nil
 	}
 	return nil, nil

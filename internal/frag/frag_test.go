@@ -1,10 +1,12 @@
 package frag
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/extent"
@@ -95,21 +97,22 @@ func TestCrossValidateAgainstEngines(t *testing.T) {
 	// The paper validated its marker tool against the NTFS defragmenter's
 	// reports; we validate the scanner against engine extent lists on
 	// both backends after real churn.
-	stores := []core.Repository{
-		core.NewFileStore(vclock.New(), core.FileStoreOptions{Capacity: 64 * units.MB, DiskMode: disk.MetadataMode}),
-		core.NewDBStore(vclock.New(), core.DBStoreOptions{Capacity: 64 * units.MB, DiskMode: disk.MetadataMode}),
+	ctx := context.Background()
+	stores := []blob.Store{
+		core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode)),
+		core.NewDBStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode)),
 	}
 	for _, s := range stores {
 		t.Run(s.Name(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(4))
 			for i := 0; i < 12; i++ {
-				if err := s.Put(fmt.Sprintf("o%d", i), int64(rng.Intn(8)+1)*128*units.KB, nil); err != nil {
+				if err := blob.Put(ctx, s, fmt.Sprintf("o%d", i), int64(rng.Intn(8)+1)*128*units.KB, nil); err != nil {
 					t.Fatal(err)
 				}
 			}
 			for op := 0; op < 60; op++ {
 				key := fmt.Sprintf("o%d", rng.Intn(12))
-				if err := s.Replace(key, int64(rng.Intn(8)+1)*128*units.KB, nil); err != nil {
+				if err := blob.Replace(ctx, s, key, int64(rng.Intn(8)+1)*128*units.KB, nil); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 
+	"repro/internal/blob"
 	"repro/internal/disk"
 	"repro/internal/extent"
 	"repro/internal/units"
@@ -101,7 +102,7 @@ func (v *Volume) Create(name string) (*File, error) {
 // the file system at file creation" (§5.4).
 func (f *File) SetSizeHint(size int64) error {
 	if f.size > 0 || f.allocated > 0 || f.buffered > 0 {
-		return fmt.Errorf("fs: size hint after data was written to %s", f.name)
+		return fmt.Errorf("%w: size hint after data was written to %s", blob.ErrInvalidSize, f.name)
 	}
 	f.sizeHint = size
 	return nil
@@ -119,7 +120,7 @@ func (f *File) Append(n int64, data []byte) error {
 		n = int64(len(data))
 	}
 	if n <= 0 {
-		return fmt.Errorf("fs: empty append to %s", f.name)
+		return fmt.Errorf("%w: empty append to %s", blob.ErrInvalidSize, f.name)
 	}
 	v := f.vol
 	if v.cfg.DelayedAllocation {
@@ -233,10 +234,16 @@ func (f *File) ReadAll() []byte {
 }
 
 // ReadAt reads length bytes starting at off, touching only the runs that
-// cover the range.
-func (f *File) ReadAt(off, length int64) error {
-	if off < 0 || off+length > f.size {
-		return fmt.Errorf("fs: read [%d,+%d) beyond size %d of %s", off, length, f.size, f.name)
+// cover the range. When the drive retains payloads the covered bytes are
+// returned; otherwise nil.
+func (f *File) ReadAt(off, length int64) ([]byte, error) {
+	// length > f.size-off rather than off+length > f.size: the sum can
+	// overflow int64 for hostile offsets, the subtraction cannot.
+	if off < 0 || length < 0 || length > f.size-off {
+		return nil, fmt.Errorf("%w: read [%d,+%d) beyond size %d of %s", blob.ErrOutOfRange, off, length, f.size, f.name)
+	}
+	if length == 0 {
+		return nil, nil
 	}
 	cs := f.vol.ClusterSize()
 	firstC := off / cs
@@ -252,7 +259,12 @@ func (f *File) ReadAt(off, length int64) error {
 		hi := min(lastC, rLast)
 		f.vol.drive.ReadRun(extent.Run{Start: r.Start + (lo - rFirst), Len: hi - lo + 1})
 	}
-	return nil
+	if f.vol.dataMode() && off+length <= int64(len(f.data)) {
+		out := make([]byte, length)
+		copy(out, f.data[off:off+length])
+		return out, nil
+	}
+	return nil, nil
 }
 
 // Delete removes a file. Its clusters are quarantined until the next log

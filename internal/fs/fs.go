@@ -21,21 +21,23 @@
 package fs
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/alloc"
+	"repro/internal/blob"
 	"repro/internal/disk"
 	"repro/internal/extent"
 	"repro/internal/units"
 )
 
-// Errors returned by volume operations.
+// Errors returned by volume operations. Each is the corresponding blob
+// sentinel, so errors.Is(err, blob.ErrNotFound) and friends hold through
+// the filesystem layer without translation.
 var (
-	ErrExist    = errors.New("fs: file exists")
-	ErrNotExist = errors.New("fs: file does not exist")
-	ErrNoSpace  = errors.New("fs: no space on volume")
-	ErrClosed   = errors.New("fs: file is closed for appends")
+	ErrExist    = blob.ErrAlreadyExists
+	ErrNotExist = blob.ErrNotFound
+	ErrNoSpace  = blob.ErrNoSpaceLeft
+	ErrClosed   = blob.ErrClosed
 )
 
 // Config describes a volume. Zero-value fields take defaults from

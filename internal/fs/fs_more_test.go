@@ -69,7 +69,7 @@ func TestReadAtChargesOnlyCoveringRuns(t *testing.T) {
 	f.Append(1*units.MB, nil)
 	f.Close()
 	v.Drive().ResetStats()
-	if err := f.ReadAt(0, 4*units.KB); err != nil {
+	if _, err := f.ReadAt(0, 4*units.KB); err != nil {
 		t.Fatal(err)
 	}
 	s := v.Drive().Stats()

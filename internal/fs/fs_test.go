@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/blob"
 	"repro/internal/disk"
 	"repro/internal/units"
 	"repro/internal/vclock"
@@ -151,11 +152,11 @@ func TestReadAt(t *testing.T) {
 	f, _ := v.Create("a")
 	f.Append(1*units.MB, nil)
 	f.Close()
-	if err := f.ReadAt(512*units.KB, 64*units.KB); err != nil {
+	if _, err := f.ReadAt(512*units.KB, 64*units.KB); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.ReadAt(900*units.KB, 200*units.KB); err == nil {
-		t.Fatal("read past EOF succeeded")
+	if _, err := f.ReadAt(900*units.KB, 200*units.KB); !errors.Is(err, blob.ErrOutOfRange) {
+		t.Fatalf("read past EOF: err = %v, want blob.ErrOutOfRange", err)
 	}
 }
 

@@ -2,6 +2,8 @@ package fs
 
 import (
 	"fmt"
+
+	"repro/internal/blob"
 )
 
 // This file implements safe writes — the atomic whole-object replacement
@@ -34,11 +36,21 @@ const (
 	CrashAfterRename
 )
 
-// ErrCrashed is wrapped by errors returned from injected crashes.
-var ErrCrashed = fmt.Errorf("fs: simulated crash")
+// ErrCrashed is wrapped by errors returned from injected crashes. It is
+// the blob sentinel, so crash failures are typed end-to-end.
+var ErrCrashed = blob.ErrCrashed
 
-// tempName returns the temporary-file name a safe write of name uses.
-func tempName(name string) string { return name + ".tmp~" }
+// TempSuffix marks the temporary files of in-flight safe writes;
+// Recover sweeps orphans carrying it.
+const TempSuffix = ".tmp~"
+
+// TempName returns the temporary-file name a safe write of name uses.
+// Store layers above the volume use the same convention so crashed
+// streams are recovered uniformly.
+func TempName(name string) string { return name + TempSuffix }
+
+// tempName is the historical internal spelling.
+func tempName(name string) string { return TempName(name) }
 
 // SafeWriteOptions controls a safe write.
 type SafeWriteOptions struct {
@@ -59,10 +71,10 @@ type SafeWriteOptions struct {
 // bytes.
 func (v *Volume) SafeWrite(name string, size int64, data []byte, opts SafeWriteOptions) error {
 	if size <= 0 {
-		return fmt.Errorf("fs: safe write of %d bytes to %s", size, name)
+		return fmt.Errorf("%w: safe write of %d bytes to %s", blob.ErrInvalidSize, size, name)
 	}
 	if data != nil && int64(len(data)) != size {
-		return fmt.Errorf("fs: data length %d != size %d", len(data), size)
+		return fmt.Errorf("%w: data length %d != size %d", blob.ErrInvalidSize, len(data), size)
 	}
 	tmp := tempName(name)
 	// A leftover temp from a previous crashed attempt is replaced.
@@ -124,7 +136,7 @@ func (v *Volume) SafeWrite(name string, size int64, data []byte, opts SafeWriteO
 func (v *Volume) Recover() int {
 	var orphans []string
 	for name := range v.files {
-		if len(name) > 5 && name[len(name)-5:] == ".tmp~" {
+		if len(name) > len(TempSuffix) && name[len(name)-len(TempSuffix):] == TempSuffix {
 			orphans = append(orphans, name)
 		}
 	}

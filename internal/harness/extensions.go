@@ -5,8 +5,8 @@ import (
 	"math/rand"
 
 	"repro/internal/alloc"
+	"repro/internal/blob"
 	"repro/internal/core"
-	"repro/internal/db"
 	"repro/internal/disk"
 	"repro/internal/extent"
 	"repro/internal/fs"
@@ -23,12 +23,7 @@ import (
 func Pathological(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("Pathological volume recovery", "Storage Age", "Fragments/object")
 	dist := workload.Constant{Size: 10 * units.MB}
-	fsStore := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-		Capacity:         c.VolumeBytes,
-		DiskMode:         disk.MetadataMode,
-		WriteRequestSize: 64 * units.KB,
-		NoOwnerMap:       c.NoOwnerMap,
-	})
+	fsStore := core.NewFileStore(vclock.New(), c.storeOptions(64*units.KB)...)
 	runner := workload.NewRunner(fsStore, dist, c.Seed)
 	if _, err := runner.BulkLoad(c.Occupancy); err != nil {
 		return nil, err
@@ -56,20 +51,16 @@ func SizeHintAblation(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("Size-hint / delayed-allocation ablation", "Storage Age", "Fragments/object")
 	dist := workload.Constant{Size: 10 * units.MB}
 	variants := []struct {
-		name string
-		opts core.FileStoreOptions
+		name  string
+		extra []blob.Option
 	}{
-		{"No hint (stock)", core.FileStoreOptions{}},
-		{"Size hint", core.FileStoreOptions{SizeHint: true}},
-		{"Delayed allocation", core.FileStoreOptions{FS: fs.Config{DelayedAllocation: true}}},
+		{"No hint (stock)", nil},
+		{"Size hint", []blob.Option{blob.WithSizeHint()}},
+		{"Delayed allocation", []blob.Option{blob.WithDelayedAllocation()}},
 	}
 	for _, v := range variants {
-		opts := v.opts
-		opts.Capacity = c.VolumeBytes
-		opts.DiskMode = disk.MetadataMode
-		opts.WriteRequestSize = 64 * units.KB
-		opts.NoOwnerMap = c.NoOwnerMap
-		store := core.NewFileStore(vclock.New(), opts)
+		opts := append(c.storeOptions(64*units.KB), v.extra...)
+		store := core.NewFileStore(vclock.New(), opts...)
 		c.logf("hint: variant %q", v.name)
 		s, err := c.agingCurve(store, dist, v.name, func(r *workload.Runner) float64 {
 			return meanFrags(r.Repo())
@@ -95,17 +86,9 @@ func WriteRequestSweep(c Config) ([]*stats.Table, error) {
 	fsSeries := t.AddSeries("Filesystem")
 	for _, req := range reqSizes {
 		c.logf("wreq: request size %s", units.FormatBytes(req))
-		fsStore := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-			Capacity: c.VolumeBytes, DiskMode: disk.MetadataMode,
-			WriteRequestSize: req, NoOwnerMap: c.NoOwnerMap,
-		})
-		dbStore := core.NewDBStore(vclock.New(), core.DBStoreOptions{
-			Capacity: c.VolumeBytes, DiskMode: disk.MetadataMode,
-			DB:         db.Config{WriteRequestSize: req},
-			NoOwnerMap: c.NoOwnerMap,
-		})
+		fsStore, dbStore := c.pair(req)
 		for _, st := range []struct {
-			repo   core.Repository
+			repo   blob.Store
 			series *stats.Series
 		}{{dbStore, dbSeries}, {fsStore, fsSeries}} {
 			runner := workload.NewRunner(st.repo, dist, c.Seed)

@@ -3,7 +3,7 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/blob"
 	"repro/internal/db"
 	"repro/internal/disk"
 	"repro/internal/fs"
@@ -55,7 +55,7 @@ func Figure1(c Config) ([]*stats.Table, error) {
 		c.logf("fig1: object size %s", units.FormatBytes(size))
 		fsStore, dbStore := c.pair(64 * units.KB)
 		for _, st := range []struct {
-			repo core.Repository
+			repo blob.Store
 			name string
 		}{{dbStore, "Database"}, {fsStore, "Filesystem"}} {
 			runner := workload.NewRunner(st.repo, workload.Constant{Size: size}, c.Seed)
@@ -126,7 +126,7 @@ func Figure4(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 4: 512K Write Throughput Over Time", "Storage Age", "MB/sec")
 	fsStore, dbStore := c.pair(64 * units.KB)
 	for _, st := range []struct {
-		repo core.Repository
+		repo blob.Store
 		name string
 	}{{dbStore, "Database"}, {fsStore, "Filesystem"}} {
 		s := t.AddSeries(st.name)

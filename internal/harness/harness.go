@@ -17,6 +17,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
@@ -136,23 +137,28 @@ func IDs() []string {
 // volume size, each on its own virtual clock (the paper ran the systems
 // independently).
 func (c Config) pair(writeReq int64) (*core.FileStore, *core.DBStore) {
-	fsStore := core.NewFileStore(vclock.New(), core.FileStoreOptions{
-		Capacity:         c.VolumeBytes,
-		DiskMode:         disk.MetadataMode,
-		WriteRequestSize: writeReq,
-		NoOwnerMap:       c.NoOwnerMap,
-	})
-	dbStore := core.NewDBStore(vclock.New(), core.DBStoreOptions{
-		Capacity:   c.VolumeBytes,
-		DiskMode:   disk.MetadataMode,
-		NoOwnerMap: c.NoOwnerMap,
-	})
+	fsStore := core.NewFileStore(vclock.New(), c.storeOptions(writeReq)...)
+	dbStore := core.NewDBStore(vclock.New(), c.storeOptions(writeReq)...)
 	return fsStore, dbStore
 }
 
-// meanFrags measures mean fragments/object for any repository.
-func meanFrags(r core.Repository) float64 {
-	return frag.Analyze(r).MeanFragments()
+// storeOptions translates experiment scale into store options shared by
+// both backends.
+func (c Config) storeOptions(writeReq int64) []blob.Option {
+	opts := []blob.Option{
+		blob.WithCapacity(c.VolumeBytes),
+		blob.WithDiskMode(disk.MetadataMode),
+		blob.WithWriteRequestSize(writeReq),
+	}
+	if c.NoOwnerMap {
+		opts = append(opts, blob.WithoutOwnerMap())
+	}
+	return opts
+}
+
+// meanFrags measures mean fragments/object for any store.
+func meanFrags(s blob.Store) float64 {
+	return frag.Analyze(s).MeanFragments()
 }
 
 // agePoints returns the measurement ages 0, step, 2*step ... max.
@@ -166,7 +172,7 @@ func (c Config) agePoints() []float64 {
 
 // agingCurve bulk loads repo and measures fn at each age point, returning
 // one series. fn runs after churn reaches each age.
-func (c Config) agingCurve(repo core.Repository, dist workload.SizeDist, name string,
+func (c Config) agingCurve(repo blob.Store, dist workload.SizeDist, name string,
 	fn func(r *workload.Runner) float64) (*stats.Series, error) {
 	runner := workload.NewRunner(repo, dist, c.Seed)
 	if _, err := runner.BulkLoad(c.Occupancy); err != nil {

@@ -12,19 +12,22 @@
 //	delete <key>
 //	get <key>
 //
-// Traces can be recorded from live repository activity (Recorder),
-// replayed against any Repository (Replay), and analysed without
+// Traces can be recorded from live store activity (Recorder),
+// replayed against any blob.Store (Replay), and analysed without
 // execution: storage age "can be computed from the data allocation rate"
 // (§4.4), which Analyze does.
 package trace
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/units"
 	"repro/internal/vclock"
@@ -143,56 +146,111 @@ func Read(r io.Reader) ([]Op, error) {
 	return ops, nil
 }
 
-// Recorder wraps a Repository, recording every mutation and read as a
-// trace while passing operations through.
+// Recorder wraps a blob.Store, recording every mutation and read as a
+// trace while passing operations through. Mutations are recorded when
+// their streaming writer COMMITS — an aborted stream never reaches the
+// trace, mirroring what the store itself made durable. Recording is safe
+// for concurrent use, like the store it wraps.
 type Recorder struct {
-	core.Repository
+	blob.Store
+
+	mu  sync.Mutex
 	ops []Op
 }
 
-// NewRecorder wraps repo.
-func NewRecorder(repo core.Repository) *Recorder {
-	return &Recorder{Repository: repo}
+// NewRecorder wraps store.
+func NewRecorder(store blob.Store) *Recorder {
+	return &Recorder{Store: store}
 }
 
 // Ops returns the recorded trace.
-func (r *Recorder) Ops() []Op { return r.ops }
-
-// Put implements Repository.
-func (r *Recorder) Put(key string, size int64, data []byte) error {
-	if err := r.Repository.Put(key, size, data); err != nil {
-		return err
-	}
-	r.ops = append(r.ops, Op{Kind: Put, Key: key, Size: size})
-	return nil
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
 }
 
-// Replace implements Repository.
-func (r *Recorder) Replace(key string, size int64, data []byte) error {
-	if err := r.Repository.Replace(key, size, data); err != nil {
-		return err
-	}
-	r.ops = append(r.ops, Op{Kind: Replace, Key: key, Size: size})
-	return nil
+func (r *Recorder) record(op Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, op)
 }
 
-// Delete implements Repository.
-func (r *Recorder) Delete(key string) error {
-	if err := r.Repository.Delete(key); err != nil {
-		return err
-	}
-	r.ops = append(r.ops, Op{Kind: Delete, Key: key})
-	return nil
-}
-
-// Get implements Repository.
-func (r *Recorder) Get(key string) (int64, []byte, error) {
-	n, data, err := r.Repository.Get(key)
+// Create implements blob.Store; the put is recorded at commit.
+func (r *Recorder) Create(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	w, err := r.Store.Create(ctx, key, size)
 	if err != nil {
-		return n, data, err
+		return nil, err
 	}
-	r.ops = append(r.ops, Op{Kind: Get, Key: key})
-	return n, data, nil
+	return &recordingWriter{Writer: w, rec: r, op: Op{Kind: Put, Key: key, Size: size}}, nil
+}
+
+// Replace implements blob.Store; the replace is recorded at commit.
+func (r *Recorder) Replace(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	w, err := r.Store.Replace(ctx, key, size)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingWriter{Writer: w, rec: r, op: Op{Kind: Replace, Key: key, Size: size}}, nil
+}
+
+// Delete implements blob.Store.
+func (r *Recorder) Delete(ctx context.Context, key string) error {
+	if err := r.Store.Delete(ctx, key); err != nil {
+		return err
+	}
+	r.record(Op{Kind: Delete, Key: key})
+	return nil
+}
+
+// Open implements blob.Store. The get is recorded when the reader
+// completes a whole-object read — the operation the trace format's
+// "get" replays — not at open, so stat-only opens and ranged reads do
+// not inflate a replay's read volume.
+func (r *Recorder) Open(ctx context.Context, key string) (blob.Reader, error) {
+	rd, err := r.Store.Open(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingReader{Reader: rd, rec: r, key: key}, nil
+}
+
+// recordingReader records one get per completed whole-object read.
+type recordingReader struct {
+	blob.Reader
+	rec *Recorder
+	key string
+}
+
+// ReadAll reads the whole object, then records the get.
+func (r *recordingReader) ReadAll() ([]byte, error) {
+	data, err := r.Reader.ReadAll()
+	if err != nil {
+		return data, err
+	}
+	r.rec.record(Op{Kind: Get, Key: r.key})
+	return data, nil
+}
+
+// recordingWriter appends its op to the trace once, when the underlying
+// writer commits.
+type recordingWriter struct {
+	blob.Writer
+	rec      *Recorder
+	op       Op
+	recorded bool
+}
+
+// Commit commits the underlying writer, then records the mutation.
+func (w *recordingWriter) Commit() error {
+	if err := w.Writer.Commit(); err != nil {
+		return err
+	}
+	if !w.recorded {
+		w.rec.record(w.op)
+		w.recorded = true
+	}
+	return nil
 }
 
 // Result summarises a replay.
@@ -205,27 +263,27 @@ type Result struct {
 	StorageAge   float64
 }
 
-// Replay executes a trace against repo, tracking storage age. Objects
+// Replay executes a trace against store, tracking storage age. Objects
 // must exist before replace/delete/get events reference them (Replace
 // creates when absent, as the safe-write protocol allows).
-func Replay(ops []Op, repo core.Repository) (Result, error) {
-	tracker := core.NewAgeTracker(repo)
-	w := vclock.StartWatch(repo.Clock())
+func Replay(ctx context.Context, ops []Op, store blob.Store) (Result, error) {
+	tracker := core.NewAgeTracker(store)
+	w := vclock.StartWatch(store.Clock())
 	var res Result
 	for i, op := range ops {
 		var err error
 		switch op.Kind {
 		case Put:
-			err = tracker.Put(op.Key, op.Size, nil)
+			err = tracker.Put(ctx, op.Key, op.Size, nil)
 			res.BytesWritten += op.Size
 		case Replace:
-			err = tracker.Replace(op.Key, op.Size, nil)
+			err = tracker.Replace(ctx, op.Key, op.Size, nil)
 			res.BytesWritten += op.Size
 		case Delete:
-			err = tracker.Delete(op.Key)
+			err = tracker.Delete(ctx, op.Key)
 		case Get:
 			var n int64
-			n, _, err = repo.Get(op.Key)
+			n, _, err = blob.Get(ctx, store, op.Key)
 			res.BytesRead += n
 		}
 		if err != nil {

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/units"
@@ -12,16 +14,14 @@ import (
 	"repro/internal/workload"
 )
 
-func newFS(capacity int64) core.Repository {
-	return core.NewFileStore(vclock.New(), core.FileStoreOptions{
-		Capacity: capacity, DiskMode: disk.MetadataMode,
-	})
+func newFS(capacity int64) blob.Store {
+	return core.NewFileStore(vclock.New(),
+		blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
 }
 
-func newDBr(capacity int64) core.Repository {
-	return core.NewDBStore(vclock.New(), core.DBStoreOptions{
-		Capacity: capacity, DiskMode: disk.MetadataMode,
-	})
+func newDBr(capacity int64) blob.Store {
+	return core.NewDBStore(vclock.New(),
+		blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
 }
 
 func TestParseAndFormatRoundTrip(t *testing.T) {
@@ -120,8 +120,8 @@ func TestReplayReproducesStateAndAge(t *testing.T) {
 	wantCount := rec.ObjectCount()
 	wantLive := rec.LiveBytes()
 
-	for _, fresh := range []core.Repository{newFS(128 * units.MB), newDBr(128 * units.MB)} {
-		res, err := Replay(rec.Ops(), fresh)
+	for _, fresh := range []blob.Store{newFS(128 * units.MB), newDBr(128 * units.MB)} {
+		res, err := Replay(context.Background(), rec.Ops(), fresh)
 		if err != nil {
 			t.Fatalf("%s replay: %v", fresh.Name(), err)
 		}
@@ -136,7 +136,7 @@ func TestReplayReproducesStateAndAge(t *testing.T) {
 		}
 		// Every object readable.
 		for _, k := range fresh.Keys() {
-			if _, _, err := fresh.Get(k); err != nil {
+			if _, _, err := blob.Get(context.Background(), fresh, k); err != nil {
 				t.Fatalf("%s: %v", fresh.Name(), err)
 			}
 		}
@@ -184,7 +184,7 @@ func TestAnalyzeRejectsBrokenTraces(t *testing.T) {
 
 func TestReplayFailsCleanlyOnBadTrace(t *testing.T) {
 	repo := newFS(64 * units.MB)
-	_, err := Replay([]Op{{Kind: Delete, Key: "ghost"}}, repo)
+	_, err := Replay(context.Background(), []Op{{Kind: Delete, Key: "ghost"}}, repo)
 	if err == nil {
 		t.Fatal("replay of broken trace succeeded")
 	}
@@ -202,7 +202,7 @@ func TestReplayGroupedDeletePattern(t *testing.T) {
 		ops = append(ops, Op{Kind: Delete, Key: key(1, p)})
 	}
 	repo := newFS(64 * units.MB)
-	res, err := Replay(ops, repo)
+	res, err := Replay(context.Background(), ops, repo)
 	if err != nil {
 		t.Fatal(err)
 	}

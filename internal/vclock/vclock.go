@@ -10,22 +10,27 @@
 // hardware configurations.
 package vclock
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Clock is a monotonic virtual clock measured in nanoseconds.
-// The zero value is a clock at time zero, ready to use.
+// The zero value is a clock at time zero, ready to use. Reads and
+// advances are atomic, so observers may sample a clock while concurrent
+// store operations charge it.
 type Clock struct {
-	now int64 // virtual nanoseconds since start
+	now atomic.Int64 // virtual nanoseconds since start
 }
 
 // New returns a clock starting at virtual time zero.
 func New() *Clock { return &Clock{} }
 
 // Now returns the current virtual time in nanoseconds.
-func (c *Clock) Now() int64 { return c.now }
+func (c *Clock) Now() int64 { return c.now.Load() }
 
 // Seconds returns the current virtual time in seconds.
-func (c *Clock) Seconds() float64 { return float64(c.now) / 1e9 }
+func (c *Clock) Seconds() float64 { return float64(c.Now()) / 1e9 }
 
 // Advance moves the clock forward by d nanoseconds. Negative advances are
 // a programming error and panic: virtual time never flows backwards.
@@ -33,7 +38,7 @@ func (c *Clock) Advance(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %d", d))
 	}
-	c.now += d
+	c.now.Add(d)
 }
 
 // AdvanceSeconds moves the clock forward by s virtual seconds.
@@ -41,7 +46,7 @@ func (c *Clock) AdvanceSeconds(s float64) {
 	if s < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %gs", s))
 	}
-	c.now += int64(s * 1e9)
+	c.now.Add(int64(s * 1e9))
 }
 
 // Stopwatch measures an interval of virtual time.

@@ -10,9 +10,11 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/units"
 	"repro/internal/vclock"
@@ -83,8 +85,9 @@ func (r Result) String() string {
 		r.Ops, units.FormatBytes(r.Bytes), r.Seconds, r.MBps, r.EndingAge)
 }
 
-// Runner drives one repository through the workload phases.
+// Runner drives one store through the workload phases.
 type Runner struct {
+	ctx     context.Context
 	tracker *core.AgeTracker
 	rng     *rand.Rand
 	dist    SizeDist
@@ -92,20 +95,28 @@ type Runner struct {
 	nextID  int64
 }
 
-// NewRunner creates a deterministic runner over repo.
-func NewRunner(repo core.Repository, dist SizeDist, seed int64) *Runner {
+// NewRunner creates a deterministic runner over store.
+func NewRunner(store blob.Store, dist SizeDist, seed int64) *Runner {
 	return &Runner{
-		tracker: core.NewAgeTracker(repo),
+		ctx:     context.Background(),
+		tracker: core.NewAgeTracker(store),
 		rng:     rand.New(rand.NewSource(seed)),
 		dist:    dist,
 	}
 }
 
+// WithContext sets the context the runner's operations carry, for
+// cancelling a long workload phase from outside.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.ctx = ctx
+	return r
+}
+
 // Tracker exposes the storage-age tracker.
 func (r *Runner) Tracker() *core.AgeTracker { return r.tracker }
 
-// Repo returns the repository under test.
-func (r *Runner) Repo() core.Repository { return r.tracker.Repo() }
+// Repo returns the store under test.
+func (r *Runner) Repo() blob.Store { return r.tracker.Store() }
 
 // Keys returns the keys of live objects, in creation order.
 func (r *Runner) Keys() []string { return r.keys }
@@ -139,7 +150,7 @@ func (r *Runner) BulkLoadBytes(targetBytes int64) (Result, error) {
 		}
 		key := fmt.Sprintf("obj-%08d", r.nextID)
 		r.nextID++
-		if err := r.tracker.Put(key, size, nil); err != nil {
+		if err := r.tracker.Put(r.ctx, key, size, nil); err != nil {
 			return res, fmt.Errorf("bulk load after %d objects: %w", res.Ops, err)
 		}
 		r.keys = append(r.keys, key)
@@ -174,14 +185,14 @@ func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
 	for r.tracker.Age() < target {
 		key := r.keys[r.rng.Intn(len(r.keys))]
 		size := r.sample()
-		if err := r.tracker.Replace(key, size, nil); err != nil {
+		if err := r.tracker.Replace(r.ctx, key, size, nil); err != nil {
 			return res, fmt.Errorf("churn op %d: %w", res.Ops, err)
 		}
 		res.Ops++
 		res.Bytes += size
 		for i := 0; i < opts.ReadsPerWrite; i++ {
 			rk := r.keys[r.rng.Intn(len(r.keys))]
-			if _, _, err := r.Repo().Get(rk); err != nil {
+			if _, _, err := blob.Get(r.ctx, r.Repo(), rk); err != nil {
 				return res, fmt.Errorf("interleaved read: %w", err)
 			}
 		}
@@ -204,7 +215,7 @@ func (r *Runner) MeasureReadThroughput(samples int) (Result, error) {
 	}
 	for i := 0; i < samples; i++ {
 		key := r.keys[r.rng.Intn(len(r.keys))]
-		n, _, err := r.Repo().Get(key)
+		n, _, err := blob.Get(r.ctx, r.Repo(), key)
 		if err != nil {
 			return res, err
 		}
@@ -234,15 +245,15 @@ func (r *Runner) DeleteGroup(n int) (Result, error) {
 	start := r.rng.Intn(len(r.keys) - n + 1)
 	for i := 0; i < n; i++ {
 		key := r.keys[start+i]
-		size, err := r.Repo().Stat(key)
+		info, err := r.Repo().Stat(r.ctx, key)
 		if err != nil {
 			return res, err
 		}
-		if err := r.tracker.Delete(key); err != nil {
+		if err := r.tracker.Delete(r.ctx, key); err != nil {
 			return res, err
 		}
 		res.Ops++
-		res.Bytes += size
+		res.Bytes += info.Size
 	}
 	r.keys = append(r.keys[:start], r.keys[start+n:]...)
 	res.Seconds = w.Seconds()

@@ -1,18 +1,20 @@
 package workload
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/units"
 	"repro/internal/vclock"
 )
 
-func newFS(capacity int64) core.Repository {
-	return core.NewFileStore(vclock.New(), core.FileStoreOptions{Capacity: capacity, DiskMode: disk.MetadataMode})
+func newFS(capacity int64) blob.Store {
+	return core.NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
 }
 
 func TestConstantDist(t *testing.T) {
@@ -184,12 +186,12 @@ func TestSizesClusterAligned(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range r.Keys() {
-		size, err := r.Repo().Stat(k)
+		info, err := r.Repo().Stat(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if size%(4*units.KB) != 0 {
-			t.Fatalf("object %s size %d not 4KB aligned", k, size)
+		if info.Size%(4*units.KB) != 0 {
+			t.Fatalf("object %s size %d not 4KB aligned", k, info.Size)
 		}
 	}
 }
