@@ -182,6 +182,22 @@ func BenchmarkInterleavedAppend(b *testing.B) {
 	yAt(b, tables[0], "Filesystem", 8, "k8-frags/file")
 }
 
+// BenchmarkShardSweep regenerates the sharded multi-volume sweep: shard
+// count 1..16 at fixed total volume. Metrics are fragments/object and
+// churn MB/s (virtual time) for the single-volume and 16-shard
+// filesystem arms, plus the 16-shard database fragmentation.
+func BenchmarkShardSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxShards = 16
+	tables := runExperiment(b, "shard", cfg)
+	frags, tput := tables[0], tables[2]
+	yAt(b, frags, "Filesystem", 1, "fs-1shard-frags/obj")
+	yAt(b, frags, "Filesystem", 16, "fs-16shard-frags/obj")
+	yAt(b, frags, "Database", 16, "db-16shard-frags/obj")
+	yAt(b, tput, "Filesystem", 1, "fs-1shard-MB/s")
+	yAt(b, tput, "Filesystem", 16, "fs-16shard-MB/s")
+}
+
 // BenchmarkAllocatorPolicies regenerates the §3.2/§3.4 policy shoot-out.
 func BenchmarkAllocatorPolicies(b *testing.B) {
 	tables := runExperiment(b, "policy", benchConfig())

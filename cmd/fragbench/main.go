@@ -10,6 +10,8 @@
 //
 //	fragbench fig2                 # Figure 2 at default (bench) scale
 //	fragbench -volume 40G fig6     # Figure 6 with 40G/400G volumes
+//	fragbench shard                # shard-count sweep at fixed total volume
+//	fragbench -shards 32 shard     # ... sweeping 1..32 shards
 //	fragbench -quick all           # every experiment at miniature scale
 //	fragbench -csv fig1            # CSV output for plotting
 package main
@@ -33,6 +35,7 @@ func main() {
 		ageStep = flag.Float64("agestep", 0, "age measurement interval (default 1)")
 		samples = flag.Int("samples", 0, "reads per throughput measurement (default 200)")
 		seed    = flag.Int64("seed", 0, "workload random seed (default 1)")
+		shards  = flag.Int("shards", 0, "max shard count for the shard sweep (default 16)")
 		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose = flag.Bool("v", false, "log progress to stderr")
@@ -85,6 +88,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *shards > 0 {
+		cfg.MaxShards = *shards
 	}
 	if *verbose {
 		cfg.Log = os.Stderr

@@ -37,4 +37,8 @@ var (
 
 	// ErrCrashed wraps failures injected by simulated crashes.
 	ErrCrashed = errors.New("blob: simulated crash")
+
+	// ErrBadStripeCount reports a WithLockStripes value that is not a
+	// positive power of two (the stripe hash folds with a mask).
+	ErrBadStripeCount = errors.New("blob: key-lock stripe count must be a positive power of two")
 )

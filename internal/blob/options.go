@@ -55,6 +55,12 @@ type Options struct {
 	// GhostHorizon is the database backend's deferred page-reclamation
 	// horizon in committed operations; 0 takes the engine default.
 	GhostHorizon int
+
+	// LockStripes is the per-key striped-lock shard count, validated by
+	// NewKeyLocks at store construction: 0 takes DefaultKeyStripes, any
+	// other value must be a positive power of two (ErrBadStripeCount
+	// otherwise). More stripes reduce false sharing between hot keys.
+	LockStripes int
 }
 
 // Option configures a Store at construction.
@@ -128,4 +134,12 @@ func WithFullLogging() Option {
 // horizon.
 func WithGhostHorizon(ops int) Option {
 	return func(o *Options) { o.GhostHorizon = ops }
+}
+
+// WithLockStripes sets the per-key striped-lock shard count. The value
+// must be a positive power of two: NewKeyLocks reports anything else as
+// ErrBadStripeCount, which the store constructors treat like a missing
+// Capacity — programmer misconfiguration — and panic on.
+func WithLockStripes(n int) Option {
+	return func(o *Options) { o.LockStripes = n }
 }

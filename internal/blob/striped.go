@@ -1,10 +1,14 @@
 package blob
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
-// keyStripes is the shard count of a KeyLocks. Power of two so the hash
-// folds with a mask.
-const keyStripes = 64
+// DefaultKeyStripes is the stripe count a KeyLocks gets when the
+// WithLockStripes option is absent. Power of two so the hash folds with
+// a mask.
+const DefaultKeyStripes = 64
 
 // KeyLocks is a striped per-key reader/writer lock: keys hash onto a
 // fixed array of RWMutexes, giving per-key mutual exclusion without a
@@ -12,29 +16,57 @@ const keyStripes = 64
 // through the key's stripe. Today the stores also hold a store-level
 // mutex around every engine call (the simulation engines are
 // single-threaded), so the stripes buy ordering rather than
-// parallelism; they are the seam a sharded backend parallelizes
-// across once each shard owns its own engine.
+// parallelism; they are the seam package shard parallelizes across,
+// where each shard owns its own engine.
 //
 // Locks are held for the duration of one store call, never across a
 // Reader's or Writer's lifetime, so callers cannot deadlock themselves
 // by interleaving handles.
+//
+// Build a KeyLocks with NewKeyLocks; the zero value has no stripes and
+// must not be used.
 type KeyLocks struct {
-	stripes [keyStripes]sync.RWMutex
+	stripes []sync.RWMutex
+	mask    uint64
 }
+
+// NewKeyLocks builds a KeyLocks with the given stripe count. A count of
+// 0 takes DefaultKeyStripes; anything else must be a positive power of
+// two or the constructor fails with ErrBadStripeCount.
+func NewKeyLocks(stripes int) (*KeyLocks, error) {
+	if stripes == 0 {
+		stripes = DefaultKeyStripes
+	}
+	if stripes < 1 || stripes&(stripes-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadStripeCount, stripes)
+	}
+	return &KeyLocks{
+		stripes: make([]sync.RWMutex, stripes),
+		mask:    uint64(stripes - 1),
+	}, nil
+}
+
+// Stripes returns the stripe count.
+func (kl *KeyLocks) Stripes() int { return len(kl.stripes) }
 
 // stripe returns the lock shard for key (FNV-1a, folded to the stripe
 // count).
 func (kl *KeyLocks) stripe(key string) *sync.RWMutex {
+	return &kl.stripes[fnv1a(key)&kl.mask]
+}
+
+// fnv1a hashes s with 64-bit FNV-1a.
+func fnv1a(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
 		h *= prime64
 	}
-	return &kl.stripes[h&(keyStripes-1)]
+	return h
 }
 
 // Lock acquires key's stripe exclusively.

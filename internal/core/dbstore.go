@@ -31,7 +31,7 @@ type DBStore struct {
 	eng   *db.Database
 	clock *vclock.Clock
 
-	locks blob.KeyLocks
+	locks *blob.KeyLocks
 
 	mu        sync.Mutex // guards eng, liveBytes, tags, inflight
 	liveBytes int64
@@ -48,6 +48,10 @@ func NewDBStore(clock *vclock.Clock, options ...blob.Option) *DBStore {
 	}
 	if opts.LogCapacity == 0 {
 		opts.LogCapacity = 2 * units.GB
+	}
+	locks, err := blob.NewKeyLocks(opts.LockStripes)
+	if err != nil {
+		panic("core: NewDBStore: " + err.Error())
 	}
 	geo := disk.DefaultGeometry(opts.Capacity)
 	if opts.Geometry != nil {
@@ -67,6 +71,7 @@ func NewDBStore(clock *vclock.Clock, options ...blob.Option) *DBStore {
 	return &DBStore{
 		eng:      db.Open(dataDrive, logDrive, cfg),
 		clock:    clock,
+		locks:    locks,
 		tags:     make(map[string]uint32),
 		inflight: make(map[string]bool),
 	}

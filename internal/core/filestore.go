@@ -34,7 +34,7 @@ type FileStore struct {
 	clock *vclock.Clock
 	opts  blob.Options
 
-	locks blob.KeyLocks
+	locks *blob.KeyLocks
 
 	mu        sync.Mutex // guards vol, meta, liveBytes, inflight
 	liveBytes int64
@@ -53,6 +53,10 @@ func NewFileStore(clock *vclock.Clock, options ...blob.Option) *FileStore {
 	}
 	if opts.MetaCapacity == 0 {
 		opts.MetaCapacity = 1 * units.GB
+	}
+	locks, err := blob.NewKeyLocks(opts.LockStripes)
+	if err != nil {
+		panic("core: NewFileStore: " + err.Error())
 	}
 	geo := disk.DefaultGeometry(opts.Capacity)
 	if opts.Geometry != nil {
@@ -74,6 +78,7 @@ func NewFileStore(clock *vclock.Clock, options ...blob.Option) *FileStore {
 		meta:     metaDB.NewMetaTable("objects"),
 		clock:    clock,
 		opts:     opts,
+		locks:    locks,
 		inflight: make(map[string]bool),
 	}
 }

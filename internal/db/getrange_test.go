@@ -1,0 +1,74 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/disk"
+	"repro/internal/units"
+)
+
+// TestGetRangeBounds pins the engine-side bounds ladder of ranged
+// reads: offsets at and past EOF, zero lengths, negative inputs, and
+// offsets hostile enough to overflow a naive off+length check.
+func TestGetRangeBounds(t *testing.T) {
+	const size = 256 * units.KB
+	d := newDB(64*units.MB, disk.DataMode)
+	data := payload(size, 3)
+	if err := d.Put("a", size, data); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name        string
+		off, length int64
+		wantErr     error // nil means success
+		wantBytes   int64 // payload length on success
+	}{
+		{"full range", 0, size, nil, size},
+		{"interior", 4 * units.KB, 8 * units.KB, nil, 8 * units.KB},
+		{"suffix to EOF", size - 4*units.KB, 4 * units.KB, nil, 4 * units.KB},
+		{"zero length at start", 0, 0, nil, 0},
+		{"zero length interior", size / 2, 0, nil, 0},
+		{"zero length at EOF", size, 0, nil, 0},
+		{"offset at EOF, length 1", size, 1, blob.ErrOutOfRange, 0},
+		{"offset past EOF", size + 1, 0, blob.ErrOutOfRange, 0},
+		{"length past EOF", size - 4*units.KB, 8 * units.KB, blob.ErrOutOfRange, 0},
+		{"negative offset", -1, 4 * units.KB, blob.ErrOutOfRange, 0},
+		{"negative length", 0, -1, blob.ErrOutOfRange, 0},
+		{"both negative", -4, -4, blob.ErrOutOfRange, 0},
+		{"offset+length overflows int64", math.MaxInt64 - 10, 100, blob.ErrOutOfRange, 0},
+		{"max offset", math.MaxInt64, 1, blob.ErrOutOfRange, 0},
+		{"max length", 0, math.MaxInt64, blob.ErrOutOfRange, 0},
+		{"max offset and length", math.MaxInt64, math.MaxInt64, blob.ErrOutOfRange, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := d.GetRange("a", tc.off, tc.length)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("GetRange(%d, %d) = %v, want %v", tc.off, tc.length, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("GetRange(%d, %d): %v", tc.off, tc.length, err)
+			}
+			if int64(len(got)) != tc.wantBytes {
+				t.Fatalf("GetRange(%d, %d) returned %d bytes, want %d", tc.off, tc.length, len(got), tc.wantBytes)
+			}
+			if tc.wantBytes > 0 && !bytes.Equal(got, data[tc.off:tc.off+tc.length]) {
+				t.Fatalf("GetRange(%d, %d) payload mismatch", tc.off, tc.length)
+			}
+		})
+	}
+
+	// The ladder checks existence before bounds: a missing key reports
+	// ErrNotFound even for a hostile range.
+	if _, err := d.GetRange("ghost", math.MaxInt64, math.MaxInt64); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("GetRange on missing key = %v, want ErrNotFound", err)
+	}
+}

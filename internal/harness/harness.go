@@ -44,6 +44,9 @@ type Config struct {
 	ReadSamples int
 	// Seed drives all randomness.
 	Seed int64
+	// MaxShards caps the shard-count sweep of the "shard" experiment
+	// (powers of two up to this value; 0 takes 16).
+	MaxShards int
 	// NoOwnerMap disables the disk owner map (large-volume runs).
 	NoOwnerMap bool
 	// Log receives progress lines; nil silences them.
@@ -112,6 +115,7 @@ var Experiments = []Experiment{
 	{ID: "wreq", Title: "Write request size sweep", Paper: "§5.3-5.4", Run: WriteRequestSweep},
 	{ID: "ileave", Title: "Interleaved append fragmentation", Paper: "§6 (future work)", Run: InterleavedAppend},
 	{ID: "policy", Title: "Allocation policy comparison", Paper: "§3.2, §3.4", Run: PolicyComparison},
+	{ID: "shard", Title: "Sharded multi-volume fragmentation sweep", Paper: "Figure 6 extension, §5.4", Run: ShardSweep},
 }
 
 // ByID returns the experiment with the given ID.

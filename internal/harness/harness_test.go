@@ -42,8 +42,8 @@ func findSeries(t *testing.T, tb *stats.Table, name string) *stats.Series {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 12 {
-		t.Fatalf("expected 12 experiments, have %d", len(Experiments))
+	if len(Experiments) != 13 {
+		t.Fatalf("expected 13 experiments, have %d", len(Experiments))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments {
@@ -358,5 +358,46 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 	if run() != run() {
 		t.Fatal("experiment output not deterministic")
+	}
+}
+
+// TestShardSweep asserts the Figure 6 extension's measured shape: at
+// fixed total volume the free-pool series confirms each shard's pool
+// shrinks ~1/N, and — as in this reproduction's own Figure 6b at small
+// volumes — the tighter pools recycle a lone writer's constant-size
+// objects, so fragmentation does NOT grow with shard depth; the paper's
+// production-scale prediction inverts here (see ShardSweep's notes).
+func TestShardSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run")
+	}
+	cfg := shapeConfig()
+	cfg.MaxShards = 16
+	cfg.MaxAge = 16 // churn the sweep to age 8, deep enough to converge
+	tables, err := ShardSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("ShardSweep returned %d tables", len(tables))
+	}
+	frags, pool := tables[0], tables[1]
+	for _, backend := range []string{"Filesystem", "Database"} {
+		s := findSeries(t, frags, backend)
+		solo, deep := mustY(t, s, 1), mustY(t, s, 16)
+		if deep > solo {
+			t.Errorf("%s: 16-way sharding (%.2f frags/obj) fragmented more than 1 volume (%.2f) — the measured recycling trend reversed", backend, deep, solo)
+		}
+		if solo < 1 || deep < 1 {
+			t.Errorf("%s: fragments/object below 1: solo=%.2f deep=%.2f", backend, solo, deep)
+		}
+		p := findSeries(t, pool, backend)
+		if p1, p16 := mustY(t, p, 1), mustY(t, p, 16); p16 >= p1/4 {
+			t.Errorf("%s: per-shard free pool did not shrink: %.1f -> %.1f objects", backend, p1, p16)
+		}
+	}
+	// The per-shard breakdown covers every shard of the deepest sweep.
+	if got := len(tables[3].Series[0].Points); got != 16 {
+		t.Errorf("breakdown has %d shards, want 16", got)
 	}
 }

@@ -1,0 +1,64 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blob/conformance"
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/vclock"
+)
+
+// childFactory builds one child store on the shared clock.
+type childFactory func(clock *vclock.Clock, opts ...blob.Option) blob.Store
+
+func fileChild(clock *vclock.Clock, opts ...blob.Option) blob.Store {
+	return core.NewFileStore(clock, opts...)
+}
+
+func dbChild(clock *vclock.Clock, opts ...blob.Option) blob.Store {
+	return core.NewDBStore(clock, opts...)
+}
+
+// shardedFactory adapts a sharded store to the conformance suite's
+// Factory: n children of the given kind(s), round-robin, each built with
+// the per-store options the suite asks for, all sharing one clock.
+func shardedFactory(n int, kinds ...childFactory) conformance.Factory {
+	return func(opts ...blob.Option) blob.Store {
+		clock := vclock.New()
+		children := make([]blob.Store, n)
+		for i := range children {
+			children[i] = kinds[i%len(kinds)](clock, opts...)
+		}
+		s, err := shard.New(children...)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+// TestShardConformance pins the sharded store to the exact cross-backend
+// contract both single-volume backends satisfy, at shard counts 1, 4,
+// and 16 over each backend type and a mixed fleet — the acceptance bar
+// for routing, fan-out, and error pass-through adding no dialect of
+// their own.
+func TestShardConformance(t *testing.T) {
+	backends := []struct {
+		name  string
+		kinds []childFactory
+	}{
+		{"Filesystem", []childFactory{fileChild}},
+		{"Database", []childFactory{dbChild}},
+		{"Mixed", []childFactory{fileChild, dbChild}},
+	}
+	for _, be := range backends {
+		for _, n := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/N=%d", be.name, n), func(t *testing.T) {
+				conformance.Run(t, shardedFactory(n, be.kinds...))
+			})
+		}
+	}
+}

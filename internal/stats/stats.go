@@ -50,6 +50,15 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// CV returns the coefficient of variation (Std/Mean) — the scale-free
+// spread used to report shard imbalance. Zero when the mean is zero.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
 // percentile reads the p-quantile from sorted data using nearest-rank.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {

@@ -119,3 +119,18 @@ func TestXValuesSortedUnion(t *testing.T) {
 		}
 	}
 }
+
+func TestSummaryCV(t *testing.T) {
+	if cv := Summarize(nil).CV(); cv != 0 {
+		t.Fatalf("empty CV = %f", cv)
+	}
+	if cv := Summarize([]float64{5, 5, 5, 5}).CV(); cv != 0 {
+		t.Fatalf("constant CV = %f", cv)
+	}
+	// Mean 10, Std 5 -> CV 0.5 (scale-free: doubling the data keeps it).
+	a := Summarize([]float64{5, 15}).CV()
+	b := Summarize([]float64{10, 30}).CV()
+	if a < 0.49 || a > 0.51 || a != b {
+		t.Fatalf("CV = %f / %f, want ~0.5 and scale-free", a, b)
+	}
+}

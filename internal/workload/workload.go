@@ -11,6 +11,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -73,6 +74,7 @@ func UniformAround(mean int64) Uniform {
 // Result summarises one workload phase.
 type Result struct {
 	Ops          int     // operations performed
+	Skipped      int     // operations skipped (TolerateNoSpace)
 	Bytes        int64   // payload bytes moved
 	Seconds      float64 // virtual seconds elapsed
 	MBps         float64 // payload throughput
@@ -170,6 +172,14 @@ type ChurnOptions struct {
 	// ReadsPerWrite interleaves this many whole-object reads per safe
 	// write (the paper's "interleaved read requests", §4.3).
 	ReadsPerWrite int
+
+	// TolerateNoSpace skips safe writes that fail with ErrNoSpaceLeft
+	// instead of aborting the phase, counting them in Result.Skipped —
+	// the sharded regime, where one nearly-full shard can reject a
+	// replace (old and new version coexist until commit) while the
+	// fleet as a whole has room. The phase still fails if every key in
+	// a row is refused, so a genuinely full store cannot spin forever.
+	TolerateNoSpace bool
 }
 
 // ChurnToAge safe-writes uniformly chosen objects until storage age
@@ -182,12 +192,22 @@ func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
 	if len(r.keys) == 0 {
 		return res, fmt.Errorf("workload: churn before bulk load")
 	}
+	consecutiveSkips := 0
 	for r.tracker.Age() < target {
 		key := r.keys[r.rng.Intn(len(r.keys))]
 		size := r.sample()
 		if err := r.tracker.Replace(r.ctx, key, size, nil); err != nil {
+			if opts.TolerateNoSpace && errors.Is(err, blob.ErrNoSpaceLeft) {
+				res.Skipped++
+				consecutiveSkips++
+				if consecutiveSkips > 4*len(r.keys) {
+					return res, fmt.Errorf("churn op %d: store full on every shard: %w", res.Ops, err)
+				}
+				continue
+			}
 			return res, fmt.Errorf("churn op %d: %w", res.Ops, err)
 		}
+		consecutiveSkips = 0
 		res.Ops++
 		res.Bytes += size
 		for i := 0; i < opts.ReadsPerWrite; i++ {

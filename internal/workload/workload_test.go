@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -193,5 +194,39 @@ func TestSizesClusterAligned(t *testing.T) {
 		if info.Size%(4*units.KB) != 0 {
 			t.Fatalf("object %s size %d not 4KB aligned", k, info.Size)
 		}
+	}
+}
+
+// TestChurnTolerateNoSpace pins the sharded-regime knob: a churn phase
+// over a nearly full store skips ErrNoSpaceLeft replaces instead of
+// failing, counts them, and still reaches the target age; without the
+// knob the same phase surfaces the typed error.
+func TestChurnTolerateNoSpace(t *testing.T) {
+	// Uniform sizes make live bytes random-walk upward from 95% full
+	// until a safe write (old and new version coexist until commit)
+	// cannot find room for the new version.
+	mk := func() *Runner {
+		r := NewRunner(newFS(64*units.MB), Uniform{Min: 2 * units.MB, Max: 6 * units.MB}, 1)
+		if _, err := r.BulkLoad(0.95); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r := mk()
+	res, err := r.ChurnToAge(8, ChurnOptions{TolerateNoSpace: true})
+	if err != nil {
+		t.Fatalf("tolerant churn failed: %v", err)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("expected skipped safe writes on a nearly full store")
+	}
+	if res.EndingAge < 8 {
+		t.Fatalf("age %.2f did not reach target", res.EndingAge)
+	}
+
+	r2 := mk()
+	if _, err := r2.ChurnToAge(8, ChurnOptions{}); !errors.Is(err, blob.ErrNoSpaceLeft) {
+		t.Fatalf("intolerant churn = %v, want ErrNoSpaceLeft", err)
 	}
 }
