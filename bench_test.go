@@ -12,11 +12,19 @@
 package repro
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/units"
+	"repro/internal/vclock"
 )
 
 // benchConfig is sized so the whole -bench=. suite finishes in a couple
@@ -203,4 +211,76 @@ func BenchmarkAllocatorPolicies(b *testing.B) {
 	tables := runExperiment(b, "policy", benchConfig())
 	lastY(b, tables[0], "best-fit", "bestfit-frags/obj")
 	lastY(b, tables[0], "ntfs-run-cache", "runcache-frags/obj")
+}
+
+// BenchmarkGroupCommit measures the commit pipeline itself: 8 writer
+// goroutines committing 64 KB objects — small enough that per-commit
+// forces dominate, the §3.1 regime — through each backend with group
+// commit off and on. Reported metrics are commit throughput in virtual
+// time (the simulated-hardware cost the batching amortizes) and forced
+// flushes per commit; wall time is simulation overhead.
+func BenchmarkGroupCommit(b *testing.B) {
+	const writers, rounds = 8, 16
+	const objSize = 64 * units.KB
+	run := func(b *testing.B, mkStore func() (blob.Store, error)) {
+		b.ReportAllocs()
+		var commitsPerVSec, forcesPerCommit float64
+		for i := 0; i < b.N; i++ {
+			s, err := mkStore()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			watch := vclock.StartWatch(s.Clock())
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						key := fmt.Sprintf("w%02d-o%04d", w, r)
+						if err := blob.Put(ctx, s, key, objSize, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			vsec := watch.Seconds()
+			commits := float64(writers * rounds)
+			commitsPerVSec = commits / vsec
+			var forces float64
+			switch st := s.(type) {
+			case *core.DBStore:
+				forces = float64(st.Engine().Stats().LogForces)
+			case *core.FileStore:
+				stats := st.Volume().Stats()
+				forces = float64(stats.MetaWrites + stats.LogFlushes)
+			}
+			forcesPerCommit = forces / commits
+			if err := blob.CloseStore(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(commitsPerVSec, "commits/vsec")
+		b.ReportMetric(forcesPerCommit, "forces/commit")
+	}
+	baseOpts := []blob.Option{
+		blob.WithCapacity(512 * units.MB),
+		blob.WithDiskMode(disk.MetadataMode),
+	}
+	batchOpts := append(baseOpts[:len(baseOpts):len(baseOpts)],
+		blob.WithGroupCommit(writers, 2*time.Millisecond))
+	for _, bc := range []struct {
+		name string
+		mk   func() (blob.Store, error)
+	}{
+		{"db/batch=off", func() (blob.Store, error) { return core.NewDBStore(vclock.New(), baseOpts...) }},
+		{"db/batch=on", func() (blob.Store, error) { return core.NewDBStore(vclock.New(), batchOpts...) }},
+		{"fs/batch=off", func() (blob.Store, error) { return core.NewFileStore(vclock.New(), baseOpts...) }},
+		{"fs/batch=on", func() (blob.Store, error) { return core.NewFileStore(vclock.New(), batchOpts...) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) { run(b, bc.mk) })
+	}
 }

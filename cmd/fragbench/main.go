@@ -12,6 +12,8 @@
 //	fragbench -volume 40G fig6     # Figure 6 with 40G/400G volumes
 //	fragbench shard                # shard-count sweep at fixed total volume
 //	fragbench -shards 32 shard     # ... sweeping 1..32 shards
+//	fragbench interleave           # k concurrent writer streams, group commit on
+//	fragbench -streams 1,4,16 interleave  # ... with an explicit k sweep
 //	fragbench -quick all           # every experiment at miniature scale
 //	fragbench -csv fig1            # CSV output for plotting
 package main
@@ -20,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -36,6 +40,7 @@ func main() {
 		samples = flag.Int("samples", 0, "reads per throughput measurement (default 200)")
 		seed    = flag.Int64("seed", 0, "workload random seed (default 1)")
 		shards  = flag.Int("shards", 0, "max shard count for the shard sweep (default 16)")
+		streams = flag.String("streams", "", "comma-separated writer-stream counts for the interleave sweep (default 1,4,16)")
 		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose = flag.Bool("v", false, "log progress to stderr")
@@ -91,6 +96,16 @@ func main() {
 	}
 	if *shards > 0 {
 		cfg.MaxShards = *shards
+	}
+	if *streams != "" {
+		for _, part := range strings.Split(*streams, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "fragbench: bad -streams value %q\n", part)
+				os.Exit(2)
+			}
+			cfg.StreamCounts = append(cfg.StreamCounts, k)
+		}
 	}
 	if *verbose {
 		cfg.Log = os.Stderr

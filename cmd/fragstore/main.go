@@ -68,10 +68,20 @@ func main() {
 	s := &session{ctx: context.Background(), trackers: map[string]*core.AgeTracker{}, rngState: 0x9E3779B97F4A7C15}
 	storeOpts := []blob.Option{blob.WithCapacity(capBytes), blob.WithDiskMode(disk.MetadataMode)}
 	if *backend == "fs" || *backend == "both" {
-		s.repos = append(s.repos, core.NewFileStore(vclock.New(), storeOpts...))
+		st, err := core.NewFileStore(vclock.New(), storeOpts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragstore: %v\n", err)
+			os.Exit(2)
+		}
+		s.repos = append(s.repos, st)
 	}
 	if *backend == "db" || *backend == "both" {
-		s.repos = append(s.repos, core.NewDBStore(vclock.New(), storeOpts...))
+		st, err := core.NewDBStore(vclock.New(), storeOpts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragstore: %v\n", err)
+			os.Exit(2)
+		}
+		s.repos = append(s.repos, st)
 	}
 	if len(s.repos) == 0 {
 		fmt.Fprintf(os.Stderr, "fragstore: unknown backend %q\n", *backend)

@@ -52,10 +52,16 @@ func main() {
 	}
 	switch *backend {
 	case "fs":
-		st := core.NewFileStore(vclock.New(), storeOpts...)
+		st, err := core.NewFileStore(vclock.New(), storeOpts...)
+		if err != nil {
+			fail(err)
+		}
 		repo, drive = st, st.Volume().Drive()
 	case "db":
-		st := core.NewDBStore(vclock.New(), storeOpts...)
+		st, err := core.NewDBStore(vclock.New(), storeOpts...)
+		if err != nil {
+			fail(err)
+		}
 		repo, drive = st, st.Engine().DataDrive()
 	default:
 		fail(fmt.Errorf("unknown backend %q", *backend))

@@ -57,18 +57,21 @@ func deleteAlbum(ctx context.Context, repo blob.Store, album int) {
 
 func main() {
 	ctx := context.Background()
-	for _, mk := range []func() blob.Store{
-		func() blob.Store {
+	for _, mk := range []func() (blob.Store, error){
+		func() (blob.Store, error) {
 			return core.NewFileStore(vclock.New(),
 				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode),
 				blob.WithWriteRequestSize(64*units.KB))
 		},
-		func() blob.Store {
+		func() (blob.Store, error) {
 			return core.NewDBStore(vclock.New(),
 				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode))
 		},
 	} {
-		repo := mk()
+		repo, err := mk()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("--- %s backend ---\n", repo.Name())
 
 		// Event season: every album uploaded as one contiguous burst.

@@ -39,12 +39,15 @@ const (
 
 func main() {
 	ctx := context.Background()
-	store := core.NewFileStore(vclock.New(),
+	store, err := core.NewFileStore(vclock.New(),
 		blob.WithCapacity(volumeSize),
 		blob.WithDiskMode(disk.MetadataMode),
 		blob.WithWriteRequestSize(64*units.KB),
 		blob.WithoutOwnerMap(),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(3))
 	type recording struct {
 		key  string

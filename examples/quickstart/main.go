@@ -29,14 +29,20 @@ func main() {
 	// NTFS-analog filesystem and one over the SQL-Server-analog database,
 	// each on its own simulated 1 GB drive, using functional options.
 	// DataMode retains payloads so reads return real bytes.
-	fsStore := core.NewFileStore(vclock.New(),
+	fsStore, err := core.NewFileStore(vclock.New(),
 		blob.WithCapacity(1*units.GB),
 		blob.WithDiskMode(disk.DataMode),
 	)
-	dbStore := core.NewDBStore(vclock.New(),
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbStore, err := core.NewDBStore(vclock.New(),
 		blob.WithCapacity(1*units.GB),
 		blob.WithDiskMode(disk.DataMode),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, store := range []blob.Store{fsStore, dbStore} {
 		fmt.Printf("--- %s backend ---\n", store.Name())

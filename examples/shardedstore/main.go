@@ -35,12 +35,20 @@ func main() {
 		blob.WithCapacity(64 * units.MB),
 		blob.WithDiskMode(disk.DataMode),
 	}
-	store, err := shard.New(
-		core.NewFileStore(clock, opts...),
-		core.NewFileStore(clock, opts...),
-		core.NewFileStore(clock, opts...),
-		core.NewDBStore(clock, opts...),
-	)
+	children := make([]blob.Store, 0, 4)
+	for i := 0; i < 3; i++ {
+		c, err := core.NewFileStore(clock, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		children = append(children, c)
+	}
+	dbChild, err := core.NewDBStore(clock, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	children = append(children, dbChild)
+	store, err := shard.New(children...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,18 +39,21 @@ func main() {
 	type point struct{ age, mbps, frags float64 }
 	results := map[string][]point{}
 
-	for _, mk := range []func() blob.Store{
-		func() blob.Store {
+	for _, mk := range []func() (blob.Store, error){
+		func() (blob.Store, error) {
 			return core.NewDBStore(vclock.New(),
 				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode))
 		},
-		func() blob.Store {
+		func() (blob.Store, error) {
 			return core.NewFileStore(vclock.New(),
 				blob.WithCapacity(2*units.GB), blob.WithDiskMode(disk.MetadataMode),
 				blob.WithWriteRequestSize(64*units.KB))
 		},
 	} {
-		repo := mk()
+		repo, err := mk()
+		if err != nil {
+			log.Fatal(err)
+		}
 		runner := workload.NewRunner(repo, workload.Constant{Size: docSize}, 11)
 		if _, err := runner.BulkLoad(0.5); err != nil {
 			log.Fatal(err)
@@ -90,8 +93,11 @@ func main() {
 	// Demonstrate per-document version history retention as WebDAV would:
 	// keep the last 3 versions of one hot document by key suffix.
 	ctx := context.Background()
-	repo := core.NewFileStore(vclock.New(),
+	repo, err := core.NewFileStore(vclock.New(),
 		blob.WithCapacity(256*units.MB), blob.WithDiskMode(disk.DataMode))
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 	for v := 1; v <= 5; v++ {
 		body := make([]byte, 64*units.KB)

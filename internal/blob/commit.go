@@ -1,0 +1,263 @@
+package blob
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the asynchronous group-commit pipeline behind
+// Writer.Commit. The paper's §3.1 folklore blames per-operation log and
+// metadata forces for database write cost; group commit is the classic
+// amortization: a committing writer enqueues onto its store's commit
+// queue, a batcher coalesces the pending commits, the backend issues ONE
+// group force for the whole batch, and each waiting writer gets its own
+// typed error (or nil) fanned back. Semantics are unchanged — nothing is
+// visible under a key before that key's Commit returns — only the force
+// schedule moves.
+//
+// The pipeline has three stages:
+//
+//	Writer.Commit ──enqueue──▶ queue ──coalesce──▶ batcher ──▶ one group force
+//	      ▲                                            │
+//	      └────────── per-writer typed error ──────────┘
+//
+// Stores construct a GroupCommitter with backend begin/end hooks: the
+// database engine defers its per-transaction log forces and issues one
+// sequential log write per batch (db.Database.BeginGroup/EndGroup); the
+// filesystem volume defers safe-write MFT/metadata forces, writes each
+// touched metadata cluster once per batch, and flushes its metadata
+// database's log once (fs.Volume.BeginBatch/EndBatch). A sharded store
+// gives every child its own pipeline, so batches on different shards
+// force in parallel.
+
+// pendingCommit is one writer waiting in the commit queue.
+type pendingCommit struct {
+	// apply performs the writer's commit work (publish, accounting)
+	// with the backend's per-commit forces deferred to the group hooks.
+	apply func() error
+	// done receives the writer's own commit error exactly once.
+	done chan error
+}
+
+// CommitStats counts pipeline activity for one store.
+type CommitStats struct {
+	// Commits is the number of writer commits processed (including
+	// commits whose apply failed; they rode a batch regardless).
+	Commits int64
+	// Batches is the number of group forces issued — one per coalesced
+	// batch, or one per commit when the pipeline runs synchronously.
+	Batches int64
+	// MaxBatch is the largest batch coalesced.
+	MaxBatch int
+}
+
+// MeanBatch returns commits per group force — the amortization factor.
+func (s CommitStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Commits) / float64(s.Batches)
+}
+
+// GroupCommitter is one store's commit pipeline. With batching enabled
+// (maxBatch > 1) a background batcher owns the backend's commit
+// critical section; otherwise Do applies commits inline, byte-for-byte
+// matching the pre-pipeline stores. Safe for concurrent use.
+type GroupCommitter struct {
+	maxBatch int
+	maxDelay time.Duration
+	begin    func() // backend hook: start deferring forces
+	end      func() // backend hook: issue the one group force
+
+	queue   chan *pendingCommit
+	stop    chan struct{} // closed by Close to halt the batcher
+	stopped chan struct{} // closed by the batcher once drained
+
+	// closeMu orders enqueues against Close: Do sends while holding the
+	// read side, Close flips closed under the write side before halting
+	// the batcher, so a commit is either enqueued before the batcher's
+	// final drain (and served by it) or sees closed and applies inline —
+	// never stranded in the queue after the batcher exits.
+	closeMu sync.RWMutex
+	closed  bool
+	once    sync.Once
+
+	mu    sync.Mutex
+	stats CommitStats
+}
+
+// NewGroupCommitter builds a commit pipeline. maxBatch is the largest
+// group coalesced into one force; maxBatch <= 1 disables batching and
+// commits synchronously. maxDelay is how long the batcher holds an
+// underfull batch open waiting for more commits; 0 coalesces only
+// commits already queued (no added latency). begin and end bracket each
+// batch on the backend.
+func NewGroupCommitter(maxBatch int, maxDelay time.Duration, begin, end func()) *GroupCommitter {
+	gc := &GroupCommitter{maxBatch: maxBatch, maxDelay: maxDelay, begin: begin, end: end}
+	if maxBatch > 1 {
+		gc.queue = make(chan *pendingCommit, 4*maxBatch)
+		gc.stop = make(chan struct{})
+		gc.stopped = make(chan struct{})
+		go gc.run()
+	}
+	return gc
+}
+
+// Batching reports whether commits are coalesced asynchronously.
+func (gc *GroupCommitter) Batching() bool { return gc.queue != nil }
+
+// Do routes one writer's commit through the pipeline and returns that
+// writer's own error. It blocks until the commit is durable (its batch's
+// group force has been issued), so Commit keeps its synchronous
+// contract: nothing is visible before Do returns, and after a failed
+// apply the writer is still open for Abort.
+func (gc *GroupCommitter) Do(apply func() error) error {
+	if gc.queue == nil {
+		err := apply()
+		gc.record(1)
+		return err
+	}
+	gc.closeMu.RLock()
+	if gc.closed {
+		gc.closeMu.RUnlock()
+		// Wait for the batcher to finish its final drain before applying
+		// inline: until it exits, a begin/end bracket may be open on the
+		// backend, and an inline commit running inside it would get its
+		// forces deferred into someone else's batch — returning before
+		// they are issued. After stopped, no bracket exists and the
+		// inline apply forces its own records immediately.
+		<-gc.stopped
+		err := apply()
+		gc.record(1)
+		return err
+	}
+	pc := &pendingCommit{apply: apply, done: make(chan error, 1)}
+	// The send may block on a full queue, but only while the batcher is
+	// alive and draining: Close cannot proceed past closeMu until this
+	// read lock is released.
+	gc.queue <- pc
+	gc.closeMu.RUnlock()
+	return <-pc.done
+}
+
+// Close drains the queue and stops the batcher. Commits issued after
+// Close apply synchronously, so a closed store's writers still work.
+func (gc *GroupCommitter) Close() {
+	if gc.queue == nil {
+		return
+	}
+	gc.once.Do(func() {
+		gc.closeMu.Lock()
+		gc.closed = true
+		gc.closeMu.Unlock()
+		close(gc.stop)
+		<-gc.stopped
+	})
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (gc *GroupCommitter) Stats() CommitStats {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.stats
+}
+
+// record counts one flushed batch of n commits.
+func (gc *GroupCommitter) record(n int) {
+	gc.mu.Lock()
+	gc.stats.Commits += int64(n)
+	gc.stats.Batches++
+	if n > gc.stats.MaxBatch {
+		gc.stats.MaxBatch = n
+	}
+	gc.mu.Unlock()
+}
+
+// run is the batcher: it blocks for the first pending commit, coalesces
+// up to maxBatch-1 more, and flushes the batch inside one begin/end
+// bracket. On Close it drains whatever is still queued, then announces
+// exit so late Do calls fall back to synchronous commits.
+func (gc *GroupCommitter) run() {
+	defer close(gc.stopped)
+	for {
+		select {
+		case pc := <-gc.queue:
+			gc.flush(gc.gather(pc))
+		case <-gc.stop:
+			for {
+				select {
+				case pc := <-gc.queue:
+					gc.flush(gc.gather(pc))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather coalesces queued commits behind first, waiting up to maxDelay
+// for an underfull batch to fill.
+func (gc *GroupCommitter) gather(first *pendingCommit) []*pendingCommit {
+	batch := []*pendingCommit{first}
+	if gc.maxDelay <= 0 {
+		for len(batch) < gc.maxBatch {
+			select {
+			case pc := <-gc.queue:
+				batch = append(batch, pc)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(gc.maxDelay)
+	defer timer.Stop()
+	for len(batch) < gc.maxBatch {
+		select {
+		case pc := <-gc.queue:
+			batch = append(batch, pc)
+		case <-timer.C:
+			return batch
+		case <-gc.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush applies every commit in the batch inside one begin/end bracket
+// — the single group force — then fans each writer its own error. One
+// writer's failure (no space, metadata full) never poisons the rest of
+// the batch.
+func (gc *GroupCommitter) flush(batch []*pendingCommit) {
+	gc.begin()
+	errs := make([]error, len(batch))
+	for i, pc := range batch {
+		errs[i] = pc.apply()
+	}
+	gc.end()
+	gc.record(len(batch))
+	for i, pc := range batch {
+		pc.done <- errs[i]
+	}
+}
+
+// CommitStatsOf returns s's group-commit pipeline counters when the
+// store exposes them (both core backends and the sharded store do).
+func CommitStatsOf(s Store) (CommitStats, bool) {
+	if cs, ok := s.(interface{ CommitStats() CommitStats }); ok {
+		return cs.CommitStats(), true
+	}
+	return CommitStats{}, false
+}
+
+// CloseStore shuts down s's commit pipeline when the store has one.
+// Stores remain usable after Close (commits turn synchronous); closing
+// is about releasing the batcher goroutine.
+func CloseStore(s Store) error {
+	if c, ok := s.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package blob
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hookCounter counts begin/end bracket pairs around batches.
+type hookCounter struct {
+	mu          sync.Mutex
+	begins      int
+	ends        int
+	openDepth   int
+	sawImproper bool
+}
+
+func (h *hookCounter) begin() {
+	h.mu.Lock()
+	h.begins++
+	h.openDepth++
+	if h.openDepth != 1 {
+		h.sawImproper = true
+	}
+	h.mu.Unlock()
+}
+
+func (h *hookCounter) end() {
+	h.mu.Lock()
+	h.ends++
+	h.openDepth--
+	if h.openDepth != 0 {
+		h.sawImproper = true
+	}
+	h.mu.Unlock()
+}
+
+// TestSynchronousCommitter pins the disabled pipeline: maxBatch <= 1
+// applies inline without hooks, recording batches of one.
+func TestSynchronousCommitter(t *testing.T) {
+	h := &hookCounter{}
+	gc := NewGroupCommitter(1, 0, h.begin, h.end)
+	if gc.Batching() {
+		t.Fatal("maxBatch=1 should not batch")
+	}
+	for i := 0; i < 5; i++ {
+		if err := gc.Do(func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.begins != 0 || h.ends != 0 {
+		t.Fatalf("synchronous mode ran hooks: %d/%d", h.begins, h.ends)
+	}
+	st := gc.Stats()
+	if st.Commits != 5 || st.Batches != 5 || st.MaxBatch != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	gc.Close() // no-op
+}
+
+// TestBatcherCoalescesConcurrentCommits pins the pipeline shape: n
+// concurrent commits form batches bracketed by exactly one begin/end
+// pair each, and every commit's own error comes back to it.
+func TestBatcherCoalescesConcurrentCommits(t *testing.T) {
+	h := &hookCounter{}
+	gc := NewGroupCommitter(8, 2*time.Millisecond, h.begin, h.end)
+	defer gc.Close()
+	if !gc.Batching() {
+		t.Fatal("pipeline should batch")
+	}
+	boom := errors.New("boom")
+	const n = 24
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = gc.Do(func() error {
+				if i%6 == 0 {
+					return boom
+				}
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i%6 == 0 && !errors.Is(err, boom) {
+			t.Fatalf("commit %d = %v, want its own boom", i, err)
+		}
+		if i%6 != 0 && err != nil {
+			t.Fatalf("commit %d = %v", i, err)
+		}
+	}
+	st := gc.Stats()
+	if st.Commits != n {
+		t.Fatalf("commits = %d, want %d", st.Commits, n)
+	}
+	if st.Batches >= n || st.MeanBatch() <= 1 {
+		t.Fatalf("no coalescing: %d batches for %d commits", st.Batches, n)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sawImproper || h.begins != h.ends || int64(h.begins) != st.Batches {
+		t.Fatalf("hook bracketing wrong: begins=%d ends=%d batches=%d improper=%v",
+			h.begins, h.ends, st.Batches, h.sawImproper)
+	}
+}
+
+// TestCommitterCloseDrainsAndStaysUsable pins shutdown: Close waits for
+// queued commits, and later commits fall back to synchronous mode.
+func TestCommitterCloseDrainsAndStaysUsable(t *testing.T) {
+	h := &hookCounter{}
+	gc := NewGroupCommitter(4, time.Millisecond, h.begin, h.end)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := gc.Do(func() error { return nil }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	gc.Close()
+	gc.Close() // idempotent
+	if err := gc.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := gc.Stats(); st.Commits != 9 {
+		t.Fatalf("commits = %d, want 9", st.Commits)
+	}
+}
+
+// TestDoCloseRaceNeverStrands hammers Do against Close: every commit
+// must return (served by the batcher's final drain or applied inline),
+// never strand in the queue after the batcher exits.
+func TestDoCloseRaceNeverStrands(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		gc := NewGroupCommitter(4, 0, func() {}, func() {})
+		const n = 16
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := gc.Do(func() error { return nil }); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		gc.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: commits stranded after Close", round)
+		}
+		if st := gc.Stats(); st.Commits != n {
+			t.Fatalf("round %d: %d commits recorded, want %d", round, st.Commits, n)
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package blob
 
-import "repro/internal/disk"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+)
 
 // Options collects the backend-independent store configuration both
 // implementations consume. The zero value is usable except for Capacity,
@@ -61,6 +66,32 @@ type Options struct {
 	// other value must be a positive power of two (ErrBadStripeCount
 	// otherwise). More stripes reduce false sharing between hot keys.
 	LockStripes int
+
+	// GroupCommitBatch is the largest number of commits the store's
+	// group-commit pipeline coalesces into one backend force. 0 or 1
+	// commits synchronously (no pipeline); set via WithGroupCommit.
+	GroupCommitBatch int
+
+	// GroupCommitDelay is how long the batcher holds an underfull batch
+	// open waiting for more commits; 0 coalesces only commits already
+	// queued. Set via WithGroupCommit.
+	GroupCommitDelay time.Duration
+}
+
+// Validate reports the backend-independent misconfigurations as
+// ErrBadOption. Store constructors call it (and return the error)
+// before building any simulated hardware.
+func (o Options) Validate() error {
+	if o.Capacity <= 0 {
+		return fmt.Errorf("%w: WithCapacity is required", ErrBadOption)
+	}
+	if o.GroupCommitBatch < 0 {
+		return fmt.Errorf("%w: group-commit batch %d is negative", ErrBadOption, o.GroupCommitBatch)
+	}
+	if o.GroupCommitDelay < 0 {
+		return fmt.Errorf("%w: group-commit delay %v is negative", ErrBadOption, o.GroupCommitDelay)
+	}
+	return nil
 }
 
 // Option configures a Store at construction.
@@ -138,8 +169,23 @@ func WithGhostHorizon(ops int) Option {
 
 // WithLockStripes sets the per-key striped-lock shard count. The value
 // must be a positive power of two: NewKeyLocks reports anything else as
-// ErrBadStripeCount, which the store constructors treat like a missing
-// Capacity — programmer misconfiguration — and panic on.
+// ErrBadStripeCount, which the store constructors wrap in ErrBadOption
+// and return.
 func WithLockStripes(n int) Option {
 	return func(o *Options) { o.LockStripes = n }
+}
+
+// WithGroupCommit enables the asynchronous group-commit pipeline:
+// Writer.Commit enqueues onto the store's commit queue, a batcher
+// coalesces up to maxBatch pending commits, and the backend issues one
+// group force per batch instead of one per transaction — the classic
+// amortization of the per-operation costs §3.1's folklore blames.
+// maxDelay bounds how long an underfull batch waits for company; 0 adds
+// no latency and coalesces only commits already queued. maxBatch <= 1
+// leaves commits synchronous.
+func WithGroupCommit(maxBatch int, maxDelay time.Duration) Option {
+	return func(o *Options) {
+		o.GroupCommitBatch = maxBatch
+		o.GroupCommitDelay = maxDelay
+	}
 }

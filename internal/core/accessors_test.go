@@ -42,7 +42,7 @@ func TestAccessors(t *testing.T) {
 }
 
 func TestBackendEscapeHatches(t *testing.T) {
-	fsStore, dbStore := newStores(64*units.MB, disk.MetadataMode)
+	fsStore, dbStore := newStores(t, 64*units.MB, disk.MetadataMode)
 	if fsStore.Volume() == nil {
 		t.Fatal("FileStore.Volume nil")
 	}
@@ -56,7 +56,7 @@ func TestBackendEscapeHatches(t *testing.T) {
 
 func TestTrackerAccessors(t *testing.T) {
 	ctx := context.Background()
-	fsStore, _ := newStores(64*units.MB, disk.MetadataMode)
+	fsStore, _ := newStores(t, 64*units.MB, disk.MetadataMode)
 	tr := NewAgeTracker(fsStore)
 	if tr.Store() != fsStore {
 		t.Fatal("Store() mismatch")

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/blob/conformance"
@@ -13,7 +14,11 @@ import (
 // the filesystem backend.
 func TestFileStoreConformance(t *testing.T) {
 	conformance.Run(t, func(opts ...blob.Option) blob.Store {
-		return core.NewFileStore(vclock.New(), opts...)
+		s, err := core.NewFileStore(vclock.New(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
 	})
 }
 
@@ -21,6 +26,38 @@ func TestFileStoreConformance(t *testing.T) {
 // the database backend.
 func TestDBStoreConformance(t *testing.T) {
 	conformance.Run(t, func(opts ...blob.Option) blob.Store {
-		return core.NewDBStore(vclock.New(), opts...)
+		s, err := core.NewDBStore(vclock.New(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+// TestFileStoreGroupCommitConformance re-runs the whole contract suite
+// with the asynchronous group-commit pipeline enabled: batching may only
+// move the force schedule, never the visible semantics.
+func TestFileStoreGroupCommitConformance(t *testing.T) {
+	conformance.Run(t, func(opts ...blob.Option) blob.Store {
+		s, err := core.NewFileStore(vclock.New(),
+			append(opts, blob.WithGroupCommit(8, 200*time.Microsecond))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+// TestDBStoreGroupCommitConformance is the database-backend twin.
+func TestDBStoreGroupCommitConformance(t *testing.T) {
+	conformance.Run(t, func(opts ...blob.Option) blob.Store {
+		s, err := core.NewDBStore(vclock.New(),
+			append(opts, blob.WithGroupCommit(8, 200*time.Microsecond))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
 	})
 }

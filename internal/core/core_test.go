@@ -14,14 +14,34 @@ import (
 	"repro/internal/vclock"
 )
 
-func newStores(capacity int64, mode disk.Mode) (*FileStore, *DBStore) {
-	fsStore := NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(mode))
-	dbStore := NewDBStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(mode))
+// mustFileStore and mustDBStore build stores or fail the test.
+func mustFileStore(t testing.TB, opts ...blob.Option) *FileStore {
+	t.Helper()
+	s, err := NewFileStore(vclock.New(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustDBStore(t testing.TB, opts ...blob.Option) *DBStore {
+	t.Helper()
+	s, err := NewDBStore(vclock.New(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newStores(t testing.TB, capacity int64, mode disk.Mode) (*FileStore, *DBStore) {
+	t.Helper()
+	fsStore := mustFileStore(t, blob.WithCapacity(capacity), blob.WithDiskMode(mode))
+	dbStore := mustDBStore(t, blob.WithCapacity(capacity), blob.WithDiskMode(mode))
 	return fsStore, dbStore
 }
 
 func eachStore(t *testing.T, capacity int64, mode disk.Mode, fn func(t *testing.T, s blob.Store)) {
-	fsStore, dbStore := newStores(capacity, mode)
+	fsStore, dbStore := newStores(t, capacity, mode)
 	for _, s := range []blob.Store{fsStore, dbStore} {
 		t.Run(s.Name(), func(t *testing.T) { fn(t, s) })
 	}
@@ -122,7 +142,7 @@ func TestStoreRunsAndTags(t *testing.T) {
 
 func TestAgeTracker(t *testing.T) {
 	ctx := context.Background()
-	fsStore, _ := newStores(128*units.MB, disk.MetadataMode)
+	fsStore, _ := newStores(t, 128*units.MB, disk.MetadataMode)
 	tr := NewAgeTracker(fsStore)
 	const size = 1 * units.MB
 	for i := 0; i < 10; i++ {
@@ -277,7 +297,7 @@ func TestAgeIndependentOfVolumeSize(t *testing.T) {
 	ctx := context.Background()
 	ages := make([]float64, 0, 2)
 	for _, capacity := range []int64{128 * units.MB, 512 * units.MB} {
-		s := NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
+		s := mustFileStore(t, blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
 		tr := NewAgeTracker(s)
 		for i := 0; i < 8; i++ {
 			if err := tr.Put(ctx, fmt.Sprintf("o%d", i), 1*units.MB, nil); err != nil {
@@ -301,7 +321,7 @@ func TestAgeIndependentOfVolumeSize(t *testing.T) {
 // mistaken for a crashed stream's leftover and destroyed.
 func TestTempLookalikeKeySurvives(t *testing.T) {
 	ctx := context.Background()
-	s := NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
+	s := mustFileStore(t, blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
 	if err := blob.Put(ctx, s, "a.tmp~", 1*units.MB, nil); err != nil {
 		t.Fatal(err)
 	}

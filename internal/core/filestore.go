@@ -23,30 +23,38 @@ import (
 // Writers stream: Create/Replace open a temporary file, appends flow to
 // the allocator in request-sized chunks, and Commit forces the data and
 // atomically renames over the permanent file — the paper's safe-write
-// protocol (§4) driven through a handle instead of one buffer.
+// protocol (§4) driven through a handle instead of one buffer. With
+// blob.WithGroupCommit, Commit enqueues onto the store's commit queue
+// and a batcher coalesces pending safe writes: each batch forces the
+// volume's metadata (coalesced MFT writes, one log flush) and the
+// metadata database's log once instead of per commit.
 //
 // The store is safe for concurrent callers: per-key striped locks order
 // operations on the same key, and an internal mutex serializes access to
 // the single-threaded volume and metadata engines beneath.
 type FileStore struct {
-	vol   *fs.Volume
-	meta  *db.MetaTable
-	clock *vclock.Clock
-	opts  blob.Options
+	vol    *fs.Volume
+	meta   *db.MetaTable
+	metaDB *db.Database
+	clock  *vclock.Clock
+	opts   blob.Options
 
-	locks *blob.KeyLocks
+	locks     *blob.KeyLocks
+	committer *blob.GroupCommitter
 
-	mu        sync.Mutex // guards vol, meta, liveBytes, inflight
+	mu        sync.Mutex // guards vol, meta, liveBytes, inflight, crashes
 	liveBytes int64
 	inflight  map[string]bool // keys with an uncommitted writer
+	crashes   map[string]bool // keys armed to crash at the next commit
 }
 
 // NewFileStore builds a file-backed store on a fresh simulated drive
-// pair sharing clock. blob.WithCapacity is required.
-func NewFileStore(clock *vclock.Clock, options ...blob.Option) *FileStore {
+// pair sharing clock. blob.WithCapacity is required; misconfiguration
+// fails with blob.ErrBadOption.
+func NewFileStore(clock *vclock.Clock, options ...blob.Option) (*FileStore, error) {
 	opts := blob.NewOptions(options...)
-	if opts.Capacity <= 0 {
-		panic("core: NewFileStore requires blob.WithCapacity")
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("core: NewFileStore: %w", err)
 	}
 	if opts.WriteRequestSize == 0 {
 		opts.WriteRequestSize = 64 * units.KB
@@ -56,7 +64,7 @@ func NewFileStore(clock *vclock.Clock, options ...blob.Option) *FileStore {
 	}
 	locks, err := blob.NewKeyLocks(opts.LockStripes)
 	if err != nil {
-		panic("core: NewFileStore: " + err.Error())
+		return nil, fmt.Errorf("core: NewFileStore: %w: %w", blob.ErrBadOption, err)
 	}
 	geo := disk.DefaultGeometry(opts.Capacity)
 	if opts.Geometry != nil {
@@ -73,14 +81,72 @@ func NewFileStore(clock *vclock.Clock, options ...blob.Option) *FileStore {
 	metaData := disk.New(disk.DefaultGeometry(opts.MetaCapacity), clock, disk.MetadataMode)
 	metaLog := disk.New(disk.DefaultGeometry(256*units.MB), clock, disk.MetadataMode)
 	metaDB := db.Open(metaData, metaLog, db.Config{})
-	return &FileStore{
+	s := &FileStore{
 		vol:      vol,
 		meta:     metaDB.NewMetaTable("objects"),
+		metaDB:   metaDB,
 		clock:    clock,
 		opts:     opts,
 		locks:    locks,
 		inflight: make(map[string]bool),
+		crashes:  make(map[string]bool),
 	}
+	s.committer = blob.NewGroupCommitter(opts.GroupCommitBatch, opts.GroupCommitDelay,
+		s.beginGroup, s.endGroup)
+	return s, nil
+}
+
+// beginGroup opens a batch on both engines: the volume defers MFT
+// writes and its log flush, the metadata database defers log forces.
+func (s *FileStore) beginGroup() {
+	s.mu.Lock()
+	s.vol.BeginBatch()
+	s.metaDB.BeginGroup()
+	s.mu.Unlock()
+}
+
+// endGroup issues the group force: coalesced MFT writes plus at most
+// one volume log flush, and one metadata-database log write.
+func (s *FileStore) endGroup() {
+	s.mu.Lock()
+	s.vol.EndBatch()
+	s.metaDB.EndGroup()
+	s.mu.Unlock()
+}
+
+// Close shuts down the group-commit pipeline. The store stays usable;
+// later commits apply synchronously.
+func (s *FileStore) Close() error {
+	s.committer.Close()
+	return nil
+}
+
+// CommitStats returns the group-commit pipeline counters.
+func (s *FileStore) CommitStats() blob.CommitStats { return s.committer.Stats() }
+
+// ArmCommitCrash makes key's next Commit crash after its data is
+// written and forced but before the atomic rename — the safe-write
+// protocol's CrashAfterWrite point — returning an error wrapping
+// blob.ErrCrashed and leaving the temp file and writer claim behind,
+// as a process death would. Call Recover afterwards, as a restarted
+// application would. Intended for crash-recovery drills and tests.
+func (s *FileStore) ArmCommitCrash(key string) {
+	s.mu.Lock()
+	s.crashes[key] = true
+	s.mu.Unlock()
+}
+
+// Recover models post-crash restart: orphaned safe-write temp files are
+// swept, the volume log is flushed, and all writer claims are released
+// (a crash kills every in-flight stream). It returns the number of temp
+// files removed.
+func (s *FileStore) Recover() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.vol.Recover()
+	clear(s.inflight)
+	clear(s.crashes)
+	return n
 }
 
 // Name implements blob.Store.
@@ -280,11 +346,20 @@ func (w *fileWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// Commit implements blob.Writer: the atomic publish point.
+// Commit implements blob.Writer: the atomic publish point. The commit
+// rides the store's group-commit pipeline — with batching enabled it
+// waits in the commit queue and shares one metadata force with the rest
+// of its batch; the error that comes back is this writer's own.
 func (w *fileWriter) Commit() error {
 	if err := w.state.BeginCommit(w.ctx); err != nil {
 		return err
 	}
+	return w.s.committer.Do(w.commitApply)
+}
+
+// commitApply performs the publish work of one safe-write commit, with
+// the per-commit metadata forces deferred to the surrounding batch.
+func (w *fileWriter) commitApply() error {
 	w.s.locks.Lock(w.key)
 	defer w.s.locks.Unlock(w.key)
 	w.s.mu.Lock()
@@ -293,6 +368,14 @@ func (w *fileWriter) Commit() error {
 	// allocation — the one step that can still run out of space).
 	if err := w.f.Close(); err != nil {
 		return err
+	}
+	if w.s.crashes[w.key] {
+		// Armed simulated crash at the CrashAfterWrite protocol point:
+		// data forced, rename never happens. The temp file and writer
+		// claim stay behind for Recover to sweep, exactly as if the
+		// process had died here.
+		delete(w.s.crashes, w.key)
+		return fmt.Errorf("%w after write of %s", blob.ErrCrashed, w.tmp)
 	}
 	old, hadOld := w.s.vol.Lookup(w.key)
 	var oldSize int64

@@ -182,3 +182,47 @@ func TestColocatedLogFallsBackToDataDrive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGroupForcesLogOncePerBatch pins the engine half of group commit:
+// puts inside a BeginGroup/EndGroup bracket defer their log forces and
+// the bracket issues exactly one, while ungrouped puts force each.
+func TestGroupForcesLogOncePerBatch(t *testing.T) {
+	d := newDB(128*units.MB, disk.MetadataMode)
+	base := d.Stats().LogForces
+	for i := 0; i < 4; i++ {
+		if err := d.Put(fmt.Sprintf("solo%d", i), 256*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Stats().LogForces - base; got != 4 {
+		t.Fatalf("ungrouped puts forced %d times, want 4", got)
+	}
+
+	base = d.Stats().LogForces
+	d.BeginGroup()
+	for i := 0; i < 4; i++ {
+		if err := d.Put(fmt.Sprintf("grp%d", i), 256*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Stats().LogForces - base; got != 0 {
+		t.Fatalf("forced %d times inside the group", got)
+	}
+	d.EndGroup()
+	if got := d.Stats().LogForces - base; got != 1 {
+		t.Fatalf("group forced %d times, want 1", got)
+	}
+	// Unbalanced EndGroup is a no-op, and nesting forces only once.
+	d.EndGroup()
+	d.BeginGroup()
+	d.BeginGroup()
+	if err := d.Put("nested", 256*units.KB, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.EndGroup()
+	d.EndGroup()
+	if got := d.Stats().LogForces - base; got != 2 {
+		t.Fatalf("nested group forced %d total, want 2", got)
+	}
+	d.CheckInvariants()
+}

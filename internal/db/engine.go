@@ -104,6 +104,14 @@ type Database struct {
 	ghosts []ghostEntry
 	opSeq  int64
 
+	// Group-commit state: while groupDepth > 0 the per-transaction log
+	// forces are deferred — record bytes accumulate in pendingLogBytes
+	// and EndGroup issues them as ONE sequential log write, the group
+	// force that amortizes §3.1's per-operation cost.
+	groupDepth      int
+	pendingLogBytes int64
+	statLogForces   int64
+
 	rowCount     int64
 	rowPageSlots int64    // free row slots in the current row page
 	rowPages     []PageID // heap pages backing the row table
@@ -181,8 +189,20 @@ func (d *Database) clusterRun(r PageRun) extent.Run {
 	}
 }
 
-// logAppend charges a sequential log write of n bytes on the log device.
+// logAppend makes n bytes of log records durable. Outside a group each
+// call is its own force; inside a group the bytes accumulate and
+// EndGroup forces them all in one sequential write.
 func (d *Database) logAppend(n int64) {
+	if d.groupDepth > 0 {
+		d.pendingLogBytes += n
+		return
+	}
+	d.forceLog(n)
+}
+
+// forceLog charges one sequential log write of n bytes on the log
+// device — a forced flush.
+func (d *Database) forceLog(n int64) {
 	drive := d.log
 	if drive == nil {
 		drive = d.data
@@ -194,6 +214,33 @@ func (d *Database) logAppend(n int64) {
 	}
 	drive.WriteRun(extent.Run{Start: d.logHead, Len: clusters}, 0, 0, nil)
 	d.logHead += clusters
+	d.statLogForces++
+}
+
+// BeginGroup starts deferring log forces. Groups nest; only the
+// outermost EndGroup forces.
+//
+// The deferral is engine-wide, as in a real group-commit log manager:
+// any operation that appends log records while the group is open — a
+// concurrent Delete or metadata mutation slipping between the group's
+// transactions — piggybacks on the group force instead of forcing
+// alone. Its records are never lost (EndGroup always flushes the
+// accumulated bytes); it just returns before they are forced, which
+// only the commit pipeline's own waiters need stronger ordering for.
+func (d *Database) BeginGroup() { d.groupDepth++ }
+
+// EndGroup closes a group; at depth zero the accumulated log records
+// are forced in one sequential write.
+func (d *Database) EndGroup() {
+	if d.groupDepth == 0 {
+		return
+	}
+	d.groupDepth--
+	if d.groupDepth == 0 && d.pendingLogBytes > 0 {
+		n := d.pendingLogBytes
+		d.pendingLogBytes = 0
+		d.forceLog(n)
+	}
 }
 
 // begin opens the implicit transaction for one engine operation.
@@ -546,6 +593,7 @@ func (d *Database) EachObject(fn func(key string, size int64, runs []extent.Run)
 // Stats reports engine counters.
 type Stats struct {
 	Puts, Gets, Deletes, Replaces int64
+	LogForces                     int64
 	FreePages                     int64
 	PartialExtents                int
 	GhostedPages                  int
@@ -560,6 +608,7 @@ func (d *Database) Stats() Stats {
 	}
 	return Stats{
 		Puts: d.statPuts, Gets: d.statGets, Deletes: d.statDeletes, Replaces: d.statReplaces,
+		LogForces:      d.statLogForces,
 		FreePages:      d.alloc.FreePages(),
 		PartialExtents: d.alloc.PartialExtents(),
 		GhostedPages:   ghosted,

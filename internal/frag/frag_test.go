@@ -98,10 +98,15 @@ func TestCrossValidateAgainstEngines(t *testing.T) {
 	// reports; we validate the scanner against engine extent lists on
 	// both backends after real churn.
 	ctx := context.Background()
-	stores := []blob.Store{
-		core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode)),
-		core.NewDBStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode)),
+	fsStore, err := core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
+	if err != nil {
+		t.Fatal(err)
 	}
+	dbStore, err := core.NewDBStore(vclock.New(), blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []blob.Store{fsStore, dbStore}
 	for _, s := range stores {
 		t.Run(s.Name(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(4))

@@ -22,6 +22,7 @@ package fs
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/blob"
@@ -108,6 +109,17 @@ type Volume struct {
 	statDeletes   int64
 	statOpens     int64
 	statFlushes   int64
+	statMetaWrite int64
+
+	// Batch (group-commit) state: while batchDepth > 0, MFT record
+	// writes are deferred and deduplicated — EndBatch writes each
+	// touched metadata cluster once, coalesced into runs — and the
+	// periodic log flush is evaluated once at batch end instead of
+	// mid-commit. This is the filesystem half of the store's group
+	// commit: N safe-write commits share one metadata force.
+	batchDepth     int
+	pendingMeta    []int64 // MFT clusters awaiting their batched write
+	pendingMetaSet map[int64]struct{}
 
 	// indexBufs holds directory index-allocation buffers. NTFS stores
 	// large directory B-trees in INDEX_ALLOCATION buffers taken from the
@@ -194,9 +206,20 @@ func (v *Volume) mftCluster(tag uint32) int64 {
 	return v.metaStart + int64(tag)%v.metaLen
 }
 
-// metadataWrite charges an MFT record update for the file tag.
+// metadataWrite charges an MFT record update for the file tag. Inside a
+// batch the write is deferred (and deduplicated per cluster) until
+// EndBatch — the lazy-writer behaviour group commit leans on.
 func (v *Volume) metadataWrite(tag uint32) {
-	v.drive.WriteRun(extent.Run{Start: v.mftCluster(tag), Len: 1}, 0, 0, nil)
+	c := v.mftCluster(tag)
+	if v.batchDepth > 0 {
+		if _, dup := v.pendingMetaSet[c]; !dup {
+			v.pendingMetaSet[c] = struct{}{}
+			v.pendingMeta = append(v.pendingMeta, c)
+		}
+		return
+	}
+	v.statMetaWrite++
+	v.drive.WriteRun(extent.Run{Start: c, Len: 1}, 0, 0, nil)
 }
 
 // metadataRead charges an MFT record lookup for the file tag.
@@ -204,9 +227,64 @@ func (v *Volume) metadataRead(tag uint32) {
 	v.drive.ReadRun(extent.Run{Start: v.mftCluster(tag), Len: 1})
 }
 
-// noteMetadataOp counts a metadata mutation toward the periodic log flush.
+// noteMetadataOp counts a metadata mutation toward the periodic log
+// flush. Inside a batch the flush decision is deferred to EndBatch so
+// the batch issues at most one force.
 func (v *Volume) noteMetadataOp() {
 	v.opsSinceFlush++
+	if v.batchDepth > 0 {
+		return
+	}
+	if v.opsSinceFlush >= v.cfg.LogFlushOps {
+		v.FlushLog()
+	}
+}
+
+// BeginBatch starts a metadata batch: MFT record writes are deferred
+// and deduplicated, and the periodic log flush waits for EndBatch.
+// Batches nest; only the outermost EndBatch forces.
+//
+// The deferral is volume-wide, like the NTFS lazy writer: a concurrent
+// create or delete whose metadata lands while the batch is open rides
+// the batch's coalesced force instead of writing its MFT record alone.
+// EndBatch always flushes every deferred record, so no write is lost —
+// such operations merely return before their record reaches disk.
+func (v *Volume) BeginBatch() {
+	if v.batchDepth == 0 && v.pendingMetaSet == nil {
+		v.pendingMetaSet = make(map[int64]struct{})
+	}
+	v.batchDepth++
+}
+
+// EndBatch closes a metadata batch: each touched MFT cluster is written
+// once — adjacent clusters coalesce into single runs — and the periodic
+// log flush runs if the batch pushed the op count past the threshold.
+// This is the group force of the filesystem commit path.
+func (v *Volume) EndBatch() {
+	if v.batchDepth == 0 {
+		return
+	}
+	v.batchDepth--
+	if v.batchDepth > 0 {
+		return
+	}
+	if len(v.pendingMeta) > 0 {
+		sort.Slice(v.pendingMeta, func(i, j int) bool { return v.pendingMeta[i] < v.pendingMeta[j] })
+		run := extent.Run{Start: v.pendingMeta[0], Len: 1}
+		for _, c := range v.pendingMeta[1:] {
+			if c == run.End() {
+				run.Len++
+				continue
+			}
+			v.statMetaWrite++
+			v.drive.WriteRun(run, 0, 0, nil)
+			run = extent.Run{Start: c, Len: 1}
+		}
+		v.statMetaWrite++
+		v.drive.WriteRun(run, 0, 0, nil)
+		v.pendingMeta = v.pendingMeta[:0]
+		clear(v.pendingMetaSet)
+	}
 	if v.opsSinceFlush >= v.cfg.LogFlushOps {
 		v.FlushLog()
 	}
@@ -246,8 +324,12 @@ func (v *Volume) FlushLog() {
 // Stats reports operation counters.
 type Stats struct {
 	Creates, Deletes, Opens, LogFlushes int64
-	FreeRunCount                        int
-	PendingBytes                        int64
+	// MetaWrites counts forced MFT record writes; batched commits
+	// coalesce several record updates into one, so this is the
+	// filesystem's forced-flush denominator alongside LogFlushes.
+	MetaWrites   int64
+	FreeRunCount int
+	PendingBytes int64
 }
 
 // Stats returns volume counters.
@@ -257,6 +339,7 @@ func (v *Volume) Stats() Stats {
 		Deletes:      v.statDeletes,
 		Opens:        v.statOpens,
 		LogFlushes:   v.statFlushes,
+		MetaWrites:   v.statMetaWrite,
 		FreeRunCount: v.rc.RunCount(),
 		PendingBytes: v.rc.PendingClusters() * v.ClusterSize(),
 	}

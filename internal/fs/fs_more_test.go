@@ -215,3 +215,82 @@ func TestIndexBufferChurnBalanced(t *testing.T) {
 		t.Fatalf("index buffers leaked: %d -> %d", buffersAt50, got)
 	}
 }
+
+// TestBatchDefersAndCoalescesMetadataForces pins the volume half of
+// group commit: inside a BeginBatch/EndBatch bracket, MFT record writes
+// are deferred and deduplicated (Close and Rename of one file share one
+// record), the periodic log flush waits for batch end, and the deferred
+// work is charged exactly once when the batch closes.
+func TestBatchDefersAndCoalescesMetadataForces(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	base := v.Stats()
+
+	v.BeginBatch()
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("o%d", i)
+		f, err := v.Create(tempName(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Append(256*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Rename(tempName(name), name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := v.Stats()
+	if got := mid.MetaWrites - base.MetaWrites; got != 0 {
+		t.Fatalf("%d MFT writes forced inside the batch, want 0", got)
+	}
+	if mid.LogFlushes != base.LogFlushes {
+		t.Fatal("log flushed inside the batch")
+	}
+	v.EndBatch()
+	after := v.Stats()
+	// Three files, each touching one MFT record across create, close,
+	// and rename: at most one coalesced write per record, so strictly
+	// fewer forces than the nine record updates that happened.
+	forced := after.MetaWrites - base.MetaWrites
+	if forced == 0 || forced > 3 {
+		t.Fatalf("EndBatch forced %d MFT writes, want 1..3", forced)
+	}
+
+	// The same protocol without a batch forces every record update.
+	v2 := newVolume(64*units.MB, disk.MetadataMode)
+	base2 := v2.Stats()
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("o%d", i)
+		f, _ := v2.Create(tempName(name))
+		_ = f.Append(256*units.KB, nil)
+		_ = f.Close()
+		_ = v2.Rename(tempName(name), name)
+	}
+	unbatched := v2.Stats().MetaWrites - base2.MetaWrites
+	if forced >= unbatched {
+		t.Fatalf("batched forces (%d) not below unbatched (%d)", forced, unbatched)
+	}
+}
+
+// TestBatchNests pins that nested batches force only at the outermost
+// EndBatch.
+func TestBatchNests(t *testing.T) {
+	v := newVolume(64*units.MB, disk.MetadataMode)
+	base := v.Stats().MetaWrites
+	v.BeginBatch()
+	v.BeginBatch()
+	if _, err := v.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	v.EndBatch()
+	if got := v.Stats().MetaWrites - base; got != 0 {
+		t.Fatalf("inner EndBatch forced %d writes", got)
+	}
+	v.EndBatch()
+	if got := v.Stats().MetaWrites - base; got != 1 {
+		t.Fatalf("outer EndBatch forced %d writes, want 1", got)
+	}
+}

@@ -23,7 +23,10 @@ import (
 func Pathological(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("Pathological volume recovery", "Storage Age", "Fragments/object")
 	dist := workload.Constant{Size: 10 * units.MB}
-	fsStore := core.NewFileStore(vclock.New(), c.storeOptions(64*units.KB)...)
+	fsStore, err := core.NewFileStore(vclock.New(), c.storeOptions(64*units.KB)...)
+	if err != nil {
+		return nil, err
+	}
 	runner := workload.NewRunner(fsStore, dist, c.Seed)
 	if _, err := runner.BulkLoad(c.Occupancy); err != nil {
 		return nil, err
@@ -60,7 +63,10 @@ func SizeHintAblation(c Config) ([]*stats.Table, error) {
 	}
 	for _, v := range variants {
 		opts := append(c.storeOptions(64*units.KB), v.extra...)
-		store := core.NewFileStore(vclock.New(), opts...)
+		store, err := core.NewFileStore(vclock.New(), opts...)
+		if err != nil {
+			return nil, err
+		}
 		c.logf("hint: variant %q", v.name)
 		s, err := c.agingCurve(store, dist, v.name, func(r *workload.Runner) float64 {
 			return meanFrags(r.Repo())
@@ -86,7 +92,10 @@ func WriteRequestSweep(c Config) ([]*stats.Table, error) {
 	fsSeries := t.AddSeries("Filesystem")
 	for _, req := range reqSizes {
 		c.logf("wreq: request size %s", units.FormatBytes(req))
-		fsStore, dbStore := c.pair(req)
+		fsStore, dbStore, err := c.pair(req)
+		if err != nil {
+			return nil, err
+		}
 		for _, st := range []struct {
 			repo   blob.Store
 			series *stats.Series

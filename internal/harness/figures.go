@@ -53,7 +53,10 @@ func Figure1(c Config) ([]*stats.Table, error) {
 	}
 	for _, size := range sizes {
 		c.logf("fig1: object size %s", units.FormatBytes(size))
-		fsStore, dbStore := c.pair(64 * units.KB)
+		fsStore, dbStore, err := c.pair(64 * units.KB)
+		if err != nil {
+			return nil, err
+		}
 		for _, st := range []struct {
 			repo blob.Store
 			name string
@@ -103,7 +106,10 @@ func Figure3(c Config) ([]*stats.Table, error) {
 // mean fragments/object per age.
 func fragmentationCurve(c Config, dist workload.SizeDist, title string) ([]*stats.Table, error) {
 	t := stats.NewTable(title, "Storage Age", "Fragments/object")
-	fsStore, dbStore := c.pair(64 * units.KB)
+	fsStore, dbStore, err := c.pair(64 * units.KB)
+	if err != nil {
+		return nil, err
+	}
 	dbSeries, err := c.agingCurve(dbStore, dist, "Database", func(r *workload.Runner) float64 {
 		return meanFrags(r.Repo())
 	})
@@ -124,7 +130,10 @@ func fragmentationCurve(c Config, dist workload.SizeDist, title string) ([]*stat
 // the churn intervals from age 0 to 2 and 2 to 4.
 func Figure4(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 4: 512K Write Throughput Over Time", "Storage Age", "MB/sec")
-	fsStore, dbStore := c.pair(64 * units.KB)
+	fsStore, dbStore, err := c.pair(64 * units.KB)
+	if err != nil {
+		return nil, err
+	}
 	for _, st := range []struct {
 		repo blob.Store
 		name string
@@ -163,7 +172,10 @@ func Figure5(c Config) ([]*stats.Table, error) {
 	dbTable := stats.NewTable("Figure 5a: Database Fragmentation: Blob Distributions", "Storage Age", "Fragments/object")
 	fsTable := stats.NewTable("Figure 5b: Filesystem Fragmentation: Blob Distributions", "Storage Age", "Fragments/object")
 	for i, dist := range dists {
-		fsStore, dbStore := c.pair(64 * units.KB)
+		fsStore, dbStore, err := c.pair(64 * units.KB)
+		if err != nil {
+			return nil, err
+		}
 		c.logf("fig5: %s distribution, database", distName[i])
 		dbSeries, err := c.agingCurve(dbStore, dist, distName[i], func(r *workload.Runner) float64 {
 			return meanFrags(r.Repo())
@@ -209,7 +221,10 @@ func Figure6(c Config) ([]*stats.Table, error) {
 		dbCfg := sub
 		dbCfg.MaxAge = c.MaxAge / 2
 		c.logf("fig6: database %s 50%% full", volName(v))
-		_, dbStore := dbCfg.pair(64 * units.KB)
+		_, dbStore, err := dbCfg.pair(64 * units.KB)
+		if err != nil {
+			return nil, err
+		}
 		dbSeries, err := dbCfg.agingCurve(dbStore, dist, "50% full - "+volName(v), func(r *workload.Runner) float64 {
 			return meanFrags(r.Repo())
 		})
@@ -220,7 +235,10 @@ func Figure6(c Config) ([]*stats.Table, error) {
 
 		// Filesystem, 50% full.
 		c.logf("fig6: filesystem %s 50%% full", volName(v))
-		fsStore, _ := sub.pair(64 * units.KB)
+		fsStore, _, err := sub.pair(64 * units.KB)
+		if err != nil {
+			return nil, err
+		}
 		fsSeries, err := sub.agingCurve(fsStore, dist, "50% full - "+volName(v), func(r *workload.Runner) float64 {
 			return meanFrags(r.Repo())
 		})
@@ -234,7 +252,10 @@ func Figure6(c Config) ([]*stats.Table, error) {
 			occCfg := sub
 			occCfg.Occupancy = occ
 			c.logf("fig6: filesystem %s %.1f%% full", volName(v), occ*100)
-			fsStore, _ := occCfg.pair(64 * units.KB)
+			fsStore, _, err := occCfg.pair(64 * units.KB)
+			if err != nil {
+				return nil, err
+			}
 			name := fmt.Sprintf("%.1f%% full - %s", occ*100, volName(v))
 			s, err := occCfg.agingCurve(fsStore, dist, name, func(r *workload.Runner) float64 {
 				return meanFrags(r.Repo())

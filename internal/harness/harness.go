@@ -47,6 +47,9 @@ type Config struct {
 	// MaxShards caps the shard-count sweep of the "shard" experiment
 	// (powers of two up to this value; 0 takes 16).
 	MaxShards int
+	// StreamCounts is the concurrent-writer sweep of the "interleave"
+	// experiment (nil takes 1, 4, 16).
+	StreamCounts []int
 	// NoOwnerMap disables the disk owner map (large-volume runs).
 	NoOwnerMap bool
 	// Log receives progress lines; nil silences them.
@@ -113,9 +116,10 @@ var Experiments = []Experiment{
 	{ID: "patho", Title: "Recovery of a pathologically fragmented volume", Paper: "§5.3", Run: Pathological},
 	{ID: "hint", Title: "Size-hint / delayed-allocation ablation", Paper: "§5.4, §6", Run: SizeHintAblation},
 	{ID: "wreq", Title: "Write request size sweep", Paper: "§5.3-5.4", Run: WriteRequestSweep},
-	{ID: "ileave", Title: "Interleaved append fragmentation", Paper: "§6 (future work)", Run: InterleavedAppend},
+	{ID: "ileave", Title: "Interleaved appends, single writer round-robin (concurrent version: interleave)", Paper: "§6 (future work)", Run: InterleavedAppend},
 	{ID: "policy", Title: "Allocation policy comparison", Paper: "§3.2, §3.4", Run: PolicyComparison},
 	{ID: "shard", Title: "Sharded multi-volume fragmentation sweep", Paper: "Figure 6 extension, §5.4", Run: ShardSweep},
+	{ID: "interleave", Title: "Concurrent writer streams with group commit", Paper: "§6 extension, §3.1", Run: InterleaveSweep},
 }
 
 // ByID returns the experiment with the given ID.
@@ -140,10 +144,16 @@ func IDs() []string {
 // pair builds a matched filesystem/database store pair of the configured
 // volume size, each on its own virtual clock (the paper ran the systems
 // independently).
-func (c Config) pair(writeReq int64) (*core.FileStore, *core.DBStore) {
-	fsStore := core.NewFileStore(vclock.New(), c.storeOptions(writeReq)...)
-	dbStore := core.NewDBStore(vclock.New(), c.storeOptions(writeReq)...)
-	return fsStore, dbStore
+func (c Config) pair(writeReq int64) (*core.FileStore, *core.DBStore, error) {
+	fsStore, err := core.NewFileStore(vclock.New(), c.storeOptions(writeReq)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	dbStore, err := core.NewDBStore(vclock.New(), c.storeOptions(writeReq)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fsStore, dbStore, nil
 }
 
 // storeOptions translates experiment scale into store options shared by

@@ -42,8 +42,8 @@ func findSeries(t *testing.T, tb *stats.Table, name string) *stats.Series {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 13 {
-		t.Fatalf("expected 13 experiments, have %d", len(Experiments))
+	if len(Experiments) != 14 {
+		t.Fatalf("expected 14 experiments, have %d", len(Experiments))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments {
@@ -399,5 +399,38 @@ func TestShardSweep(t *testing.T) {
 	// The per-shard breakdown covers every shard of the deepest sweep.
 	if got := len(tables[3].Series[0].Points); got != 16 {
 		t.Errorf("breakdown has %d shards, want 16", got)
+	}
+}
+
+// TestInterleaveSweep exercises the concurrent-writer experiment: the
+// sweep runs clean at every k, reports fragments/object per arm on both
+// backends, and the group-commit pipeline actually coalesces once more
+// than one stream is writing. Direction is asserted only for the
+// pipeline (batch size), not fragmentation: at miniature scale tight
+// free pools recycle and the §6 interleaving penalty is within noise —
+// the default-scale fragbench run is where the trend is measured.
+func TestInterleaveSweep(t *testing.T) {
+	cfg := TestConfig()
+	cfg.StreamCounts = []int{1, 8}
+	tables, err := InterleaveSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("InterleaveSweep returned %d tables", len(tables))
+	}
+	frags, batch := tables[0], tables[2]
+	for _, backend := range []string{"Filesystem", "Database"} {
+		f := findSeries(t, frags, backend)
+		if solo, deep := mustY(t, f, 1), mustY(t, f, 8); solo < 1 || deep < 1 {
+			t.Errorf("%s: fragments/object below 1: k1=%.2f k8=%.2f", backend, solo, deep)
+		}
+		b := findSeries(t, batch, backend)
+		if got := mustY(t, b, 1); got != 1 {
+			t.Errorf("%s: single stream batched %.2f commits/force, want exactly 1", backend, got)
+		}
+		if got := mustY(t, b, 8); got <= 1 {
+			t.Errorf("%s: 8 streams coalesced only %.2f commits/force", backend, got)
+		}
 	}
 }

@@ -35,13 +35,17 @@ func (c Config) shardedStore(kind string, n int, writeReq int64) (*shard.Store, 
 	clock := vclock.New()
 	children := make([]blob.Store, n)
 	for i := range children {
+		var err error
 		switch kind {
 		case "filesystem":
-			children[i] = core.NewFileStore(clock, opts...)
+			children[i], err = core.NewFileStore(clock, opts...)
 		case "database":
-			children[i] = core.NewDBStore(clock, opts...)
+			children[i], err = core.NewDBStore(clock, opts...)
 		default:
 			return nil, fmt.Errorf("harness: unknown shard backend %q", kind)
+		}
+		if err != nil {
+			return nil, err
 		}
 	}
 	return shard.New(children...)

@@ -3,6 +3,7 @@ package shard_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/blob/conformance"
@@ -15,11 +16,19 @@ import (
 type childFactory func(clock *vclock.Clock, opts ...blob.Option) blob.Store
 
 func fileChild(clock *vclock.Clock, opts ...blob.Option) blob.Store {
-	return core.NewFileStore(clock, opts...)
+	s, err := core.NewFileStore(clock, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func dbChild(clock *vclock.Clock, opts ...blob.Option) blob.Store {
-	return core.NewDBStore(clock, opts...)
+	s, err := core.NewDBStore(clock, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // shardedFactory adapts a sharded store to the conformance suite's
@@ -61,4 +70,16 @@ func TestShardConformance(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestShardGroupCommitConformance re-runs the contract suite over a
+// 4-shard mixed fleet whose children all batch commits asynchronously:
+// per-shard group forces must not change any visible semantics.
+func TestShardGroupCommitConformance(t *testing.T) {
+	base := shardedFactory(4, fileChild, dbChild)
+	conformance.Run(t, func(opts ...blob.Option) blob.Store {
+		s := base(append(opts, blob.WithGroupCommit(8, 200*time.Microsecond))...)
+		t.Cleanup(func() { _ = blob.CloseStore(s) })
+		return s
+	})
 }

@@ -14,6 +14,12 @@
 // that free pool by N. The aggregated Snapshot and the harness's "shard"
 // experiment measure exactly that trade.
 //
+// When children are built with blob.WithGroupCommit, each shard owns its
+// own commit queue and batcher: concurrent writers whose keys route to
+// different shards form batches — and issue group forces — on every
+// shard in parallel. CommitStats aggregates the fleet's amortization and
+// Close fans shutdown out the same way.
+//
 // Every failure surfaces the shared sentinel vocabulary of package blob
 // unchanged — children already speak it, and the shard layer adds no
 // dialect of its own beyond its construction-time sentinels.
@@ -382,6 +388,43 @@ func (s *Store) retiredBytes(i int) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.retired[i]
+}
+
+// CommitStats aggregates the group-commit pipeline counters across every
+// child that exposes them. Each shard owns its own commit queue and
+// batcher, so under concurrent writers batches form — and group forces
+// issue — on every shard in parallel; the aggregate MeanBatch is the
+// fleet-wide amortization factor.
+func (s *Store) CommitStats() blob.CommitStats {
+	var out blob.CommitStats
+	for _, c := range s.children {
+		if st, ok := blob.CommitStatsOf(c); ok {
+			out.Commits += st.Commits
+			out.Batches += st.Batches
+			if st.MaxBatch > out.MaxBatch {
+				out.MaxBatch = st.MaxBatch
+			}
+		}
+	}
+	return out
+}
+
+// Close shuts every child's commit pipeline down, fanned out in
+// parallel the same way the pipelines themselves run. Children without
+// a Close are no-ops; the store stays usable afterwards (commits turn
+// synchronous).
+func (s *Store) Close() error {
+	errs := make([]error, len(s.children))
+	var wg sync.WaitGroup
+	for i, c := range s.children {
+		wg.Add(1)
+		go func(i int, c blob.Store) {
+			defer wg.Done()
+			errs[i] = blob.CloseStore(c)
+		}(i, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 var _ blob.Store = (*Store)(nil)

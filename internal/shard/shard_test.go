@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/core"
@@ -27,7 +28,11 @@ func mkSharded(t *testing.T, n int, perShard int64, opts ...blob.Option) *shard.
 	}, opts...)
 	children := make([]blob.Store, n)
 	for i := range children {
-		children[i] = core.NewFileStore(clock, all...)
+		c, err := core.NewFileStore(clock, all...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = c
 	}
 	s, err := shard.New(children...)
 	if err != nil {
@@ -41,11 +46,17 @@ func TestNewValidation(t *testing.T) {
 		t.Fatalf("New() = %v, want ErrNoShards", err)
 	}
 	clock := vclock.New()
-	child := core.NewFileStore(clock, blob.WithCapacity(64*units.MB))
+	child, err := core.NewFileStore(clock, blob.WithCapacity(64*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := shard.New(child, nil); !errors.Is(err, shard.ErrNilShard) {
 		t.Fatalf("New(child, nil) = %v, want ErrNilShard", err)
 	}
-	other := core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB))
+	other, err := core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := shard.New(child, other); !errors.Is(err, shard.ErrClockMismatch) {
 		t.Fatalf("New over two clocks = %v, want ErrClockMismatch", err)
 	}
@@ -60,8 +71,14 @@ func TestNewValidation(t *testing.T) {
 
 func TestName(t *testing.T) {
 	clock := vclock.New()
-	fsChild := core.NewFileStore(clock, blob.WithCapacity(64*units.MB))
-	dbChild := core.NewDBStore(clock, blob.WithCapacity(64*units.MB))
+	fsChild, err := core.NewFileStore(clock, blob.WithCapacity(64*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbChild, err := core.NewDBStore(clock, blob.WithCapacity(64*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
 	mixed, err := shard.New(fsChild, dbChild)
 	if err != nil {
 		t.Fatal(err)
@@ -369,5 +386,62 @@ func TestSameKeyChurnConservation(t *testing.T) {
 	}
 	if snap.LiveBytes != s.LiveBytes() {
 		t.Fatalf("snapshot live %d != store live %d", snap.LiveBytes, s.LiveBytes())
+	}
+}
+
+// TestShardGroupCommitFansOutPerChild pins the parallel commit
+// pipelines: with group commit enabled on every child, concurrent
+// writers spread over the shards coalesce into batches on each shard
+// independently, the aggregated CommitStats sees every commit, and
+// Close shuts the whole fleet down in parallel.
+func TestShardGroupCommitFansOutPerChild(t *testing.T) {
+	ctx := context.Background()
+	s := mkSharded(t, 4, 64*units.MB, blob.WithGroupCommit(8, 2*time.Millisecond))
+	const writers, rounds = 8, 10
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("w%02d-o%04d", w, i)
+				if err := blob.Put(ctx, s, key, 512*units.KB, nil); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := s.CommitStats()
+	if cs.Commits != writers*rounds {
+		t.Fatalf("fleet saw %d commits, want %d", cs.Commits, writers*rounds)
+	}
+	if cs.MeanBatch() <= 1 {
+		t.Errorf("fleet mean batch %.2f, want > 1 (max %d)", cs.MeanBatch(), cs.MaxBatch)
+	}
+	// More than one child formed batches: the keyspace spreads over all
+	// four shards and each shard batches its own commits.
+	batchingChildren := 0
+	for i := 0; i < s.NumShards(); i++ {
+		if st, ok := blob.CommitStatsOf(s.Shard(i)); ok && st.Commits > 0 {
+			batchingChildren++
+		}
+	}
+	if batchingChildren < 2 {
+		t.Errorf("only %d children processed commits", batchingChildren)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The fleet stays usable after Close (commits turn synchronous).
+	if err := blob.Put(ctx, s, "after-close", 512*units.KB, nil); err != nil {
+		t.Fatal(err)
 	}
 }

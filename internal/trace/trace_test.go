@@ -15,13 +15,21 @@ import (
 )
 
 func newFS(capacity int64) blob.Store {
-	return core.NewFileStore(vclock.New(),
+	s, err := core.NewFileStore(vclock.New(),
 		blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func newDBr(capacity int64) blob.Store {
-	return core.NewDBStore(vclock.New(),
+	s, err := core.NewDBStore(vclock.New(),
 		blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func TestParseAndFormatRoundTrip(t *testing.T) {

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+// TestConcurrentRunnerBulkLoadAndChurn drives 4 streams through a
+// group-committing filesystem store and checks the phase accounting and
+// keyspace separation.
+func TestConcurrentRunnerBulkLoadAndChurn(t *testing.T) {
+	store, err := core.NewFileStore(vclock.New(),
+		blob.WithCapacity(256*units.MB), blob.WithDiskMode(disk.MetadataMode),
+		blob.WithGroupCommit(4, 100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	r := NewConcurrentRunner(store, UniformStreams(4, Constant{Size: 1 * units.MB}), 1)
+	if r.Streams() != 4 {
+		t.Fatalf("Streams() = %d", r.Streams())
+	}
+
+	load, err := r.BulkLoad(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Ops == 0 || load.Bytes == 0 {
+		t.Fatalf("empty bulk load: %+v", load)
+	}
+	if got := int64(float64(store.CapacityBytes()) * 0.5); store.LiveBytes() > got {
+		t.Fatalf("overshot load target: live=%d target=%d", store.LiveBytes(), got)
+	}
+	if r.Tracker().Age() != 0 {
+		t.Fatalf("age after load = %g", r.Tracker().Age())
+	}
+	// Every stream writes only its own keyspace.
+	perStream := map[string]bool{}
+	for _, k := range r.Keys() {
+		perStream[k[:3]] = true
+		if !strings.HasPrefix(k, "s0") {
+			t.Fatalf("unexpected key %q", k)
+		}
+	}
+	if len(perStream) != 4 {
+		t.Fatalf("streams seen: %v", perStream)
+	}
+
+	churn, err := r.ChurnToAge(1, ChurnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.EndingAge < 1 {
+		t.Fatalf("churn stopped at age %g", churn.EndingAge)
+	}
+	if churn.Ops == 0 || churn.MBps <= 0 {
+		t.Fatalf("churn result: %+v", churn)
+	}
+}
+
+// TestConcurrentRunnerSingleStreamMatchesSequential pins that k=1 is
+// the sequential workload: same distribution, same store config, same
+// object count and age trajectory as Runner (keys differ by prefix
+// only).
+func TestConcurrentRunnerSingleStreamMatchesSequential(t *testing.T) {
+	mk := func() blob.Store { return newFS(128 * units.MB) }
+	seq := NewRunner(mk(), Constant{Size: 1 * units.MB}, 7)
+	seqLoad, err := seq.BulkLoad(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := NewConcurrentRunner(mk(), UniformStreams(1, Constant{Size: 1 * units.MB}), 7)
+	concLoad, err := conc.BulkLoad(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqLoad.Ops != concLoad.Ops || seqLoad.Bytes != concLoad.Bytes {
+		t.Fatalf("k=1 load diverged: seq=%+v conc=%+v", seqLoad, concLoad)
+	}
+	seqChurn, err := seq.ChurnToAge(2, ChurnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concChurn, err := conc.ChurnToAge(2, ChurnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqChurn.Ops != concChurn.Ops {
+		t.Fatalf("k=1 churn diverged: seq %d ops, conc %d ops", seqChurn.Ops, concChurn.Ops)
+	}
+}
+
+// TestConcurrentRunnerContextCancel pins that a cancelled context stops
+// every stream with a typed error.
+func TestConcurrentRunnerContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewConcurrentRunner(newFS(64*units.MB), UniformStreams(2, Constant{Size: 1 * units.MB}), 1).
+		WithContext(ctx)
+	if _, err := r.BulkLoad(0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BulkLoad under cancelled ctx = %v", err)
+	}
+}
+
+// noSpaceEveryOther wraps a store and refuses every other Replace with
+// ErrNoSpaceLeft after burning simulated time — a nearly-full shard in
+// miniature, for pinning the skip accounting.
+type noSpaceEveryOther struct {
+	blob.Store
+	n int
+}
+
+func (s *noSpaceEveryOther) Replace(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	s.n++
+	if s.n%2 == 0 {
+		// A refused safe write still pays for the failed allocation
+		// attempt before rolling back.
+		s.Clock().AdvanceSeconds(1)
+		return nil, fmt.Errorf("%w: shard full", blob.ErrNoSpaceLeft)
+	}
+	return s.Store.Replace(ctx, key, size)
+}
+
+// TestChurnSkippedTimeExcludedFromThroughput pins the TolerateNoSpace
+// accounting fix: virtual time burned by skipped writes lands in
+// Result.SkippedSeconds and is excluded from the MBps mean instead of
+// diluting it.
+func TestChurnSkippedTimeExcludedFromThroughput(t *testing.T) {
+	inner := newFS(128 * units.MB)
+	s := &noSpaceEveryOther{Store: inner}
+	r := NewRunner(s, Constant{Size: 1 * units.MB}, 3)
+	if _, err := r.BulkLoad(0.25); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ChurnToAge(1, ChurnOptions{TolerateNoSpace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("decorator produced no skips")
+	}
+	// Each skip burned exactly 1 virtual second.
+	if want := float64(res.Skipped); res.SkippedSeconds < want {
+		t.Fatalf("SkippedSeconds = %g, want >= %g", res.SkippedSeconds, want)
+	}
+	if res.SkippedSeconds >= res.Seconds {
+		t.Fatalf("skipped time %g not inside phase time %g", res.SkippedSeconds, res.Seconds)
+	}
+	diluted := units.MBps(res.Bytes, res.Seconds)
+	want := units.MBps(res.Bytes, res.Seconds-res.SkippedSeconds)
+	if res.MBps != want || res.MBps <= diluted {
+		t.Fatalf("MBps = %g, want %g (diluted mean would be %g)", res.MBps, want, diluted)
+	}
+}

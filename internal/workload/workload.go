@@ -73,13 +73,24 @@ func UniformAround(mean int64) Uniform {
 
 // Result summarises one workload phase.
 type Result struct {
-	Ops          int     // operations performed
-	Skipped      int     // operations skipped (TolerateNoSpace)
-	Bytes        int64   // payload bytes moved
-	Seconds      float64 // virtual seconds elapsed
-	MBps         float64 // payload throughput
-	EndingAge    float64 // storage age after the phase
-	ObjectsAlive int
+	Ops     int   // operations performed
+	Skipped int   // operations skipped (TolerateNoSpace)
+	Bytes   int64 // payload bytes moved
+	// Seconds is the virtual time the whole phase spanned, including
+	// time burned by skipped operations.
+	Seconds float64
+	// SkippedSeconds is the virtual time consumed by operations that
+	// were skipped under TolerateNoSpace (a refused safe write still
+	// pays for the allocation attempt and its rollback). The sequential
+	// Runner excludes it from MBps so skipped writes cannot dilute the
+	// throughput mean. ConcurrentRunner phases leave it zero: with k
+	// streams a skipped op's interval overlaps other streams' useful
+	// work, so there is no idle time to subtract and MBps is bytes over
+	// the whole phase.
+	SkippedSeconds float64
+	MBps           float64 // payload throughput (see SkippedSeconds)
+	EndingAge      float64 // storage age after the phase
+	ObjectsAlive   int
 }
 
 func (r Result) String() string {
@@ -125,7 +136,7 @@ func (r *Runner) Keys() []string { return r.keys }
 
 // clockWatch starts a stopwatch on the repository clock.
 func (r *Runner) clockWatch() vclock.Stopwatch {
-	return vclock.StartWatch(r.Repo().Clock())
+	return vclockWatch(r.Repo())
 }
 
 // sample draws a size, rounded up to 4 KB so file and database cluster
@@ -196,9 +207,11 @@ func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
 	for r.tracker.Age() < target {
 		key := r.keys[r.rng.Intn(len(r.keys))]
 		size := r.sample()
+		opWatch := r.clockWatch()
 		if err := r.tracker.Replace(r.ctx, key, size, nil); err != nil {
 			if opts.TolerateNoSpace && errors.Is(err, blob.ErrNoSpaceLeft) {
 				res.Skipped++
+				res.SkippedSeconds += opWatch.Seconds()
 				consecutiveSkips++
 				if consecutiveSkips > 4*len(r.keys) {
 					return res, fmt.Errorf("churn op %d: store full on every shard: %w", res.Ops, err)
@@ -218,7 +231,7 @@ func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
 		}
 	}
 	res.Seconds = w.Seconds()
-	res.MBps = units.MBps(res.Bytes, res.Seconds)
+	res.MBps = units.MBps(res.Bytes, res.Seconds-res.SkippedSeconds)
 	res.EndingAge = r.tracker.Age()
 	res.ObjectsAlive = r.Repo().ObjectCount()
 	return res, nil

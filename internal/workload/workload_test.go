@@ -15,7 +15,11 @@ import (
 )
 
 func newFS(capacity int64) blob.Store {
-	return core.NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
+	s, err := core.NewFileStore(vclock.New(), blob.WithCapacity(capacity), blob.WithDiskMode(disk.MetadataMode))
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func TestConstantDist(t *testing.T) {
