@@ -206,6 +206,25 @@ func BenchmarkShardSweep(b *testing.B) {
 	yAt(b, tput, "Filesystem", 16, "fs-16shard-MB/s")
 }
 
+// BenchmarkReadCache regenerates the read-path cache sweep: a Zipf
+// read mix over each aged backend behind cache capacities 0/16M/128M.
+// Reported metrics are the cached arm's steady-state hit rate and the
+// uncached vs cached effective read throughput in virtual time — the
+// hit-rate-aware accounting where memory-speed hits bypass the
+// fragmented layout entirely.
+func BenchmarkReadCache(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxAge = 4
+	cfg.CacheBytes = []int64{0, 16 * units.MB, 128 * units.MB}
+	tables := runExperiment(b, "readcache", cfg)
+	hits, tput := tables[0], tables[1]
+	yAt(b, hits, "Database", 128, "db-128M-hitrate")
+	yAt(b, hits, "Filesystem", 128, "fs-128M-hitrate")
+	yAt(b, tput, "Database", 0, "db-uncached-MB/s")
+	yAt(b, tput, "Database", 128, "db-128M-MB/s")
+	yAt(b, tput, "Filesystem", 128, "fs-128M-MB/s")
+}
+
 // BenchmarkAllocatorPolicies regenerates the §3.2/§3.4 policy shoot-out.
 func BenchmarkAllocatorPolicies(b *testing.B) {
 	tables := runExperiment(b, "policy", benchConfig())

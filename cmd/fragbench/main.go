@@ -41,6 +41,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "workload random seed (default 1)")
 		shards  = flag.Int("shards", 0, "max shard count for the shard sweep (default 16)")
 		streams = flag.String("streams", "", "comma-separated writer-stream counts for the interleave sweep (default 1,4,16)")
+		caches  = flag.String("cache", "", "comma-separated cache capacities for the readcache sweep, 0 = no cache (default 0,64M,256M)")
 		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose = flag.Bool("v", false, "log progress to stderr")
@@ -105,6 +106,16 @@ func main() {
 				os.Exit(2)
 			}
 			cfg.StreamCounts = append(cfg.StreamCounts, k)
+		}
+	}
+	if *caches != "" {
+		for _, part := range strings.Split(*caches, ",") {
+			n, err := units.ParseBytes(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fragbench: bad -cache value %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			cfg.CacheBytes = append(cfg.CacheBytes, n)
 		}
 	}
 	if *verbose {

@@ -177,17 +177,33 @@ func (gc *GroupCommitter) record(n int) {
 // up to maxBatch-1 more, and flushes the batch inside one begin/end
 // bracket. On Close it drains whatever is still queued, then announces
 // exit so late Do calls fall back to synchronous commits.
+//
+// The batcher owns ONE maxDelay timer for its whole lifetime. The
+// timer only runs while a batch is being gathered — gather arms it for
+// each batch and disarms it (stopping AND draining the fired tick) on
+// every exit path where it did not fire, so an idle store can never
+// carry a stale tick into the next batch. Without the drain, a tick
+// that fired between batches would truncate the next batch's wait to
+// zero: a stale "the delay elapsed" flush for a delay that never ran.
 func (gc *GroupCommitter) run() {
 	defer close(gc.stopped)
+	var timer *time.Timer
+	if gc.maxDelay > 0 {
+		timer = time.NewTimer(gc.maxDelay)
+		stopTimer(timer)
+		defer timer.Stop()
+	}
 	for {
 		select {
 		case pc := <-gc.queue:
-			gc.flush(gc.gather(pc))
+			gc.flush(gc.gather(pc, timer))
 		case <-gc.stop:
 			for {
 				select {
 				case pc := <-gc.queue:
-					gc.flush(gc.gather(pc))
+					// Final drain: coalesce without the timer (stop has
+					// fired; nothing should wait on wall time anymore).
+					gc.flush(gc.gather(pc, nil))
 				default:
 					return
 				}
@@ -196,11 +212,24 @@ func (gc *GroupCommitter) run() {
 	}
 }
 
+// stopTimer disarms t between batches: Stop, plus a drain of the fired
+// tick when Stop came too late. Only the batcher goroutine touches the
+// timer, so the classic Stop/drain race pattern applies cleanly.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
 // gather coalesces queued commits behind first, waiting up to maxDelay
-// for an underfull batch to fill.
-func (gc *GroupCommitter) gather(first *pendingCommit) []*pendingCommit {
+// (timer non-nil) for an underfull batch to fill. The timer is armed
+// on entry and always disarmed by exit.
+func (gc *GroupCommitter) gather(first *pendingCommit, timer *time.Timer) []*pendingCommit {
 	batch := []*pendingCommit{first}
-	if gc.maxDelay <= 0 {
+	if timer == nil {
 		for len(batch) < gc.maxBatch {
 			select {
 			case pc := <-gc.queue:
@@ -211,18 +240,20 @@ func (gc *GroupCommitter) gather(first *pendingCommit) []*pendingCommit {
 		}
 		return batch
 	}
-	timer := time.NewTimer(gc.maxDelay)
-	defer timer.Stop()
+	timer.Reset(gc.maxDelay)
 	for len(batch) < gc.maxBatch {
 		select {
 		case pc := <-gc.queue:
 			batch = append(batch, pc)
 		case <-timer.C:
+			// The tick was consumed; the timer is already disarmed.
 			return batch
 		case <-gc.stop:
+			stopTimer(timer)
 			return batch
 		}
 	}
+	stopTimer(timer)
 	return batch
 }
 

@@ -165,3 +165,59 @@ func TestDoCloseRaceNeverStrands(t *testing.T) {
 		}
 	}
 }
+
+// TestIdleBatcherNoStaleTimerFlush is the regression test for the
+// batcher's maxDelay timer lifetime: the batcher reuses ONE timer
+// across batches, so a tick left armed (or fired and undrained) after
+// one batch could poison the next. It pins that (a) an idle pipeline
+// issues no flush at all — the timer only runs while a batch is being
+// gathered, so idling can never force a stale empty flush — and (b)
+// commits arriving after long idle gaps still form well-formed batches:
+// every flush carries at least one commit (Batches <= Commits) and
+// every commit is acknowledged exactly once.
+func TestIdleBatcherNoStaleTimerFlush(t *testing.T) {
+	h := &hookCounter{}
+	gc := NewGroupCommitter(4, time.Millisecond, h.begin, h.end)
+	defer gc.Close()
+
+	// Idle well past several maxDelay periods: no batch may form.
+	time.Sleep(10 * time.Millisecond)
+	if st := gc.Stats(); st.Batches != 0 || st.Commits != 0 {
+		t.Fatalf("idle pipeline flushed: %+v", st)
+	}
+
+	// Rounds of commits separated by idle gaps longer than maxDelay —
+	// the window where a stale tick from the previous batch would fire
+	// a fresh gather instantly.
+	const rounds, perRound = 5, 3
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for i := 0; i < perRound; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := gc.Do(func() error { return nil }); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	st := gc.Stats()
+	if st.Commits != rounds*perRound {
+		t.Fatalf("commits = %d, want %d", st.Commits, rounds*perRound)
+	}
+	// An empty (stale-tick) flush would record a zero-commit batch,
+	// pushing Batches past Commits; a healthy pipeline never can.
+	if st.Batches > st.Commits || st.Batches == 0 {
+		t.Fatalf("batch ledger wrong: %d batches for %d commits", st.Batches, st.Commits)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sawImproper || h.begins != h.ends || int64(h.begins) != st.Batches {
+		t.Fatalf("hook bracketing wrong after idle gaps: begins=%d ends=%d batches=%d improper=%v",
+			h.begins, h.ends, st.Batches, h.sawImproper)
+	}
+}

@@ -1,0 +1,562 @@
+package cache_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func newCachedFS(t *testing.T, cacheBytes int64, opts ...blob.Option) *cache.Store {
+	t.Helper()
+	base := append([]blob.Option{
+		blob.WithCapacity(256 * units.MB), blob.WithDiskMode(disk.DataMode)}, opts...)
+	inner, err := core.NewFileStore(vclock.New(), base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(inner, cache.WithCapacity(cacheBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	inner, err := core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.New(nil, cache.WithCapacity(units.MB)); !errors.Is(err, blob.ErrBadOption) {
+		t.Fatalf("nil inner = %v, want ErrBadOption", err)
+	}
+	if _, err := cache.New(inner); !errors.Is(err, blob.ErrBadOption) {
+		t.Fatalf("missing capacity = %v, want ErrBadOption", err)
+	}
+	if _, err := cache.New(inner, cache.WithCapacity(-1)); !errors.Is(err, blob.ErrBadOption) {
+		t.Fatalf("negative capacity = %v, want ErrBadOption", err)
+	}
+	if _, err := cache.New(inner, cache.WithCapacity(units.MB), cache.WithMemoryMBps(-5)); !errors.Is(err, blob.ErrBadOption) {
+		t.Fatalf("negative bandwidth = %v, want ErrBadOption", err)
+	}
+}
+
+// TestHitServedAtMemorySpeed pins the hit-rate-aware virtual-time
+// accounting: the first read pays the store's full per-fragment cost,
+// the second is served from memory orders of magnitude faster, and the
+// stats ledger records exactly one miss and one hit.
+func TestHitServedAtMemorySpeed(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	data := make([]byte, units.MB)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := blob.Put(ctx, c, "a", int64(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := vclock.StartWatch(c.Clock())
+	if _, got, err := blob.Get(ctx, c, "a"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("cold read: %v", err)
+	}
+	coldSec := cold.Seconds()
+
+	warm := vclock.StartWatch(c.Clock())
+	if _, got, err := blob.Get(ctx, c, "a"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("warm read: %v", err)
+	}
+	warmSec := warm.Seconds()
+
+	if warmSec <= 0 {
+		t.Fatal("memory hit charged zero virtual time")
+	}
+	if warmSec*50 > coldSec {
+		t.Fatalf("hit not at memory speed: cold %.6fs vs warm %.6fs", coldSec, warmSec)
+	}
+	st := c.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.ResidentBytes != int64(len(data)) {
+		t.Fatalf("resident = %d, want %d", st.ResidentBytes, len(data))
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %.2f, want 0.5", st.HitRate())
+	}
+}
+
+// TestRangedReadCaching pins the ranged-read path: a cached range
+// serves repeat reads of the covered span from memory while uncovered
+// spans still read through.
+func TestRangedReadCaching(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	data := make([]byte, units.MB)
+	for i := range data {
+		data[i] = byte(i % 151)
+	}
+	if err := blob.Put(ctx, c, "a", int64(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Open(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.ReadAt(128*units.KB, 64*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	// A sub-span of the cached range is a memory hit.
+	w := vclock.StartWatch(c.Clock())
+	got, err := r.ReadAt(144*units.KB, 16*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitSec := w.Seconds()
+	if !bytes.Equal(got, data[144*units.KB:160*units.KB]) {
+		t.Fatal("cached range served wrong bytes")
+	}
+	// An uncovered span reads through at disk cost.
+	w = vclock.StartWatch(c.Clock())
+	if _, err := r.ReadAt(512*units.KB, 16*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	if missSec := w.Seconds(); missSec <= hitSec*10 {
+		t.Fatalf("uncovered range not at disk cost: hit %.9fs vs miss %.9fs", hitSec, missSec)
+	}
+	st := c.CacheStats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+// TestEvictionUnderCapacity pins LRU eviction: a budget of two objects
+// cycling through three keeps resident bytes within budget and counts
+// evictions, and the least recently used object is the one that pays
+// disk cost again.
+func TestEvictionUnderCapacity(t *testing.T) {
+	ctx := context.Background()
+	const objBytes = units.MB
+	c := newCachedFS(t, 2*objBytes)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := blob.Put(ctx, c, k, objBytes, make([]byte, objBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(k string) {
+		t.Helper()
+		if _, _, err := blob.Get(ctx, c, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read("a")
+	read("b")
+	read("a") // touch a: b becomes LRU
+	read("c") // evicts b
+	st := c.CacheStats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.ResidentBytes > c.Capacity() {
+		t.Fatalf("resident %d exceeds budget %d", st.ResidentBytes, c.Capacity())
+	}
+	// a survived (touched), b did not.
+	before := c.CacheStats()
+	read("a")
+	if got := c.CacheStats(); got.Hits != before.Hits+1 {
+		t.Fatal("touched object was evicted")
+	}
+	before = c.CacheStats()
+	read("b")
+	if got := c.CacheStats(); got.Misses != before.Misses+1 {
+		t.Fatal("LRU object was not evicted")
+	}
+}
+
+// TestOversizedObjectNotCached pins that an object larger than the
+// whole budget streams through without thrashing the resident set.
+func TestOversizedObjectNotCached(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 256*units.KB)
+	if err := blob.Put(ctx, c, "small", 64*units.KB, make([]byte, 64*units.KB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := blob.Put(ctx, c, "big", units.MB, make([]byte, units.MB)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := blob.Get(ctx, c, "small"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := blob.Get(ctx, c, "big"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.CacheStats()
+	if st.ResidentBytes != 64*units.KB || st.Evictions != 0 {
+		t.Fatalf("oversized object disturbed the cache: %+v", st)
+	}
+	// The small object is still a hit.
+	if _, _, err := blob.Get(ctx, c, "small"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.CacheStats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits)
+	}
+}
+
+// TestResetStatsKeepsResidency pins the phase-separation contract:
+// ResetStats zeroes the counters but the resident set keeps serving
+// hits, so a measurement phase's hit rate excludes warm-up misses.
+func TestResetStatsKeepsResidency(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	if err := blob.Put(ctx, c, "a", units.MB, make([]byte, units.MB)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := blob.Get(ctx, c, "a"); err != nil { // warm-up miss
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	if _, _, err := blob.Get(ctx, c, "a"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.CacheStats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("post-reset stats = %+v, want pure hits", st)
+	}
+	if st.HitRate() != 1 {
+		t.Fatalf("post-reset hit rate = %.2f, want 1", st.HitRate())
+	}
+	if st.ResidentBytes != units.MB {
+		t.Fatalf("reset dropped residency: %+v", st)
+	}
+}
+
+// mkStores builds the invalidation test matrix: each backend plus a
+// 4-shard mixed fleet, every one wrapped in a cache.
+func mkStores(t *testing.T) map[string]*cache.Store {
+	t.Helper()
+	opts := []blob.Option{blob.WithCapacity(256 * units.MB), blob.WithDiskMode(disk.DataMode)}
+	out := make(map[string]*cache.Store)
+	for name, inner := range map[string]blob.Store{
+		"filesystem":   fileInner(opts...),
+		"database":     dbInner(opts...),
+		"shard4-mixed": mixedShardInner(opts...),
+	} {
+		c, err := cache.New(inner, cache.WithCapacity(32*units.MB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = c
+	}
+	return out
+}
+
+// TestInvalidationPreservesReaderPinning is the read-path acceptance
+// test: open a Reader (served from memory), replace or delete the
+// object through the cache, and the pinned Reader must fail
+// blob.ErrNotFound on every path — the cache must never serve the dead
+// version — while a fresh Open sees only the new version. Runs over
+// both backends and a 4-shard mixed fleet.
+func TestInvalidationPreservesReaderPinning(t *testing.T) {
+	ctx := context.Background()
+	for name, c := range mkStores(t) {
+		t.Run(name, func(t *testing.T) {
+			old := make([]byte, 256*units.KB)
+			for i := range old {
+				old[i] = 0xAA
+			}
+			if err := blob.Put(ctx, c, "a", int64(len(old)), old); err != nil {
+				t.Fatal(err)
+			}
+			// Warm the cache, then open a reader that will serve from it.
+			if _, _, err := blob.Get(ctx, c, "a"); err != nil {
+				t.Fatal(err)
+			}
+			pinned, err := c.Open(ctx, "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pinned.Close()
+			if _, err := pinned.ReadAll(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replace through the cache: the pinned reader's version dies.
+			fresh := make([]byte, 128*units.KB)
+			for i := range fresh {
+				fresh[i] = 0x55
+			}
+			if err := blob.Replace(ctx, c, "a", int64(len(fresh)), fresh); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pinned.ReadAll(); !errors.Is(err, blob.ErrNotFound) {
+				t.Fatalf("ReadAll across replace = %v, want ErrNotFound", err)
+			}
+			if _, err := pinned.ReadAt(0, 4*units.KB); !errors.Is(err, blob.ErrNotFound) {
+				t.Fatalf("ReadAt across replace = %v, want ErrNotFound", err)
+			}
+
+			// A fresh open never sees the dead version's bytes or size.
+			r2, err := c.Open(ctx, "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r2.Size() != int64(len(fresh)) {
+				t.Fatalf("post-replace Size = %d, want %d", r2.Size(), len(fresh))
+			}
+			got, err := r2.ReadAll()
+			if err != nil || !bytes.Equal(got, fresh) {
+				t.Fatalf("post-replace read served stale bytes: %v", err)
+			}
+
+			// Delete through the cache: the second pinned reader dies too,
+			// and the key is gone for fresh opens.
+			if err := c.Delete(ctx, "a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r2.ReadAll(); !errors.Is(err, blob.ErrNotFound) {
+				t.Fatalf("ReadAll across delete = %v, want ErrNotFound", err)
+			}
+			if err := r2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Open(ctx, "a"); !errors.Is(err, blob.ErrNotFound) {
+				t.Fatalf("Open after delete = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+// TestInvalidationAfterEviction pins the subtle ABA case: a reader
+// opened from a cached entry that is later EVICTED (not invalidated)
+// keeps serving its still-live version; once the object is replaced,
+// the same reader must fail ErrNotFound even though its entry left the
+// cache long before the replace.
+func TestInvalidationAfterEviction(t *testing.T) {
+	ctx := context.Background()
+	const objBytes = units.MB
+	c := newCachedFS(t, 2*objBytes)
+	if err := blob.Put(ctx, c, "a", objBytes, make([]byte, objBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := blob.Get(ctx, c, "a"); err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := c.Open(ctx, "a") // hit reader over the cached entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Close()
+
+	// Force "a" out of the cache with two fresh objects.
+	for _, k := range []string{"b", "c"} {
+		if err := blob.Put(ctx, c, k, objBytes, make([]byte, objBytes)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := blob.Get(ctx, c, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Evicted but not replaced: the pinned version is still live.
+	if _, err := pinned.ReadAll(); err != nil {
+		t.Fatalf("read after eviction = %v, want success", err)
+	}
+	// Replaced: now it must die, cached entry or not.
+	if err := blob.Replace(ctx, c, "a", objBytes, make([]byte, objBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pinned.ReadAll(); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("read after replace = %v, want ErrNotFound", err)
+	}
+}
+
+// TestStatsOf pins the snapshot helper used by harness reports.
+func TestStatsOf(t *testing.T) {
+	c := newCachedFS(t, units.MB)
+	if _, ok := cache.StatsOf(c); !ok {
+		t.Fatal("StatsOf failed on a cache.Store")
+	}
+	inner, err := core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.StatsOf(inner); ok {
+		t.Fatal("StatsOf succeeded on a bare store")
+	}
+}
+
+// TestConcurrentHitsAndInvalidations hammers one cached store with
+// readers racing replacers across a small keyspace; only typed,
+// expected errors may surface and the run must be race-clean.
+func TestConcurrentHitsAndInvalidations(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 4*units.MB, blob.WithDiskMode(disk.MetadataMode))
+	const objects = 4
+	for i := 0; i < objects; i++ {
+		if err := blob.Put(ctx, c, fmt.Sprintf("o%d", i), 256*units.KB, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("o%d", (g+i)%objects)
+				if g%2 == 0 {
+					if _, _, err := blob.Get(ctx, c, key); err != nil && !errors.Is(err, blob.ErrNotFound) {
+						done <- err
+						return
+					}
+				} else {
+					if err := blob.Replace(ctx, c, key, 256*units.KB, nil); err != nil && !errors.Is(err, blob.ErrBusy) {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("unexpected error under churn: %v", err)
+		}
+	}
+}
+
+// TestCallerMutationCannotCorruptCache pins the slice-isolation
+// contract both backends provide (a fresh slice per read): mutating a
+// read result — miss or hit — must never change what later readers see.
+func TestCallerMutationCannotCorruptCache(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	data := make([]byte, 256*units.KB)
+	for i := range data {
+		data[i] = byte(i % 201)
+	}
+	if err := blob.Put(ctx, c, "a", int64(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+	_, miss, err := blob.Get(ctx, c, "a") // fills the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss[0] = 0xFF // caller scribbles on the miss result
+	_, hit1, err := blob.Get(ctx, c, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1[0] != data[0] {
+		t.Fatalf("caller mutation of a miss result reached the cache: %#x", hit1[0])
+	}
+	hit1[0] = 0xEE // ... and on a hit result
+	_, hit2, err := blob.Get(ctx, c, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit2[0] != data[0] {
+		t.Fatalf("caller mutation of a hit result reached the cache: %#x", hit2[0])
+	}
+}
+
+// TestRangeMergeNoDoubleCharge pins coalescing: sliding-window ranged
+// reads over one object merge into one contiguous cached range, so
+// resident bytes equal the distinct bytes held, never the sum of
+// overlapping requests.
+func TestRangeMergeNoDoubleCharge(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	data := make([]byte, units.MB)
+	for i := range data {
+		data[i] = byte(i % 199)
+	}
+	if err := blob.Put(ctx, c, "a", int64(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Open(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, off := range []int64{0, 50, 100} { // overlapping 100K windows
+		got, err := r.ReadAt(off*units.KB, 100*units.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[off*units.KB:off*units.KB+100*units.KB]) {
+			t.Fatalf("window at %dK served wrong bytes", off)
+		}
+	}
+	if st := c.CacheStats(); st.ResidentBytes != 200*units.KB {
+		t.Fatalf("resident = %d after merged windows, want %d", st.ResidentBytes, 200*units.KB)
+	}
+	// The merged range now serves any sub-span, with the right bytes.
+	w := vclock.StartWatch(c.Clock())
+	got, err := r.ReadAt(25*units.KB, 150*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[25*units.KB:175*units.KB]) {
+		t.Fatal("merged range served wrong bytes")
+	}
+	if w.Seconds() > 1e-4 {
+		t.Fatalf("read inside the merged range not at memory speed: %.6fs", w.Seconds())
+	}
+}
+
+// TestPinnedReaderNeverSeesNewBytes races pinned readers against
+// replacers in data mode: a reader opened before a replace may serve
+// the old bytes or fail ErrNotFound, but must NEVER return the
+// replacement's bytes — the fill-suppression window around a commit
+// exists exactly for this (a racing fill could otherwise install new
+// bytes under the old version tag).
+func TestPinnedReaderNeverSeesNewBytes(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	const size = 64 * 1024
+	oldPat, newPat := bytes.Repeat([]byte{0xAA}, size), bytes.Repeat([]byte{0x55}, size)
+	for round := 0; round < 40; round++ {
+		key := fmt.Sprintf("k%03d", round)
+		if err := blob.Put(ctx, c, key, size, oldPat); err != nil {
+			t.Fatal(err)
+		}
+		pinned, err := c.Open(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = blob.Replace(ctx, c, key, size, newPat)
+		}()
+		// Racing reads through the pinned reader and fresh opens that
+		// may fill the cache mid-commit.
+		for i := 0; i < 4; i++ {
+			if got, err := pinned.ReadAll(); err == nil {
+				if !bytes.Equal(got, oldPat) {
+					t.Fatalf("round %d: pinned reader served replacement bytes", round)
+				}
+			} else if !errors.Is(err, blob.ErrNotFound) {
+				t.Fatalf("round %d: pinned read = %v", round, err)
+			}
+			_, _, _ = blob.Get(ctx, c, key)
+		}
+		<-done
+		_ = pinned.Close()
+		// After the replace has fully committed, the cache must serve
+		// only the new bytes.
+		if _, got, err := blob.Get(ctx, c, key); err != nil || !bytes.Equal(got, newPat) {
+			t.Fatalf("round %d: post-replace read wrong: %v", round, err)
+		}
+	}
+}

@@ -18,9 +18,12 @@ type poolEntry struct {
 	prev, next *poolEntry
 }
 
+// newBufferPool builds a pool holding capacity pages. capacity <= 0 is
+// a disabled pool: every access misses and nothing is retained, rather
+// than silently rounding up to a one-page cache.
 func newBufferPool(capacity int) *bufferPool {
-	if capacity < 1 {
-		capacity = 1
+	if capacity <= 0 {
+		capacity = 0
 	}
 	return &bufferPool{capacity: capacity, entries: make(map[PageID]*poolEntry)}
 }
@@ -28,6 +31,10 @@ func newBufferPool(capacity int) *bufferPool {
 // Access records a page touch and reports whether it was a cache hit.
 // On miss the page is installed, evicting the LRU entry if needed.
 func (bp *bufferPool) Access(id PageID) bool {
+	if bp.capacity <= 0 {
+		bp.misses++
+		return false
+	}
 	if e, ok := bp.entries[id]; ok {
 		bp.hits++
 		bp.moveToFront(e)
@@ -91,6 +98,15 @@ func (bp *bufferPool) evict() {
 	victim := bp.tail
 	bp.unlink(victim)
 	delete(bp.entries, victim.id)
+}
+
+// Reset zeroes the hit/miss counters while keeping resident pages, so
+// one experiment phase's hit rate is not blended with another's (a
+// churn-phase measurement must exclude bulk-load misses). Residency is
+// deliberately preserved: Reset separates accounting phases, it does
+// not cool the cache.
+func (bp *bufferPool) Reset() {
+	bp.hits, bp.misses = 0, 0
 }
 
 // HitRate returns the fraction of accesses that hit, or 0 before any

@@ -616,6 +616,12 @@ func (d *Database) Stats() Stats {
 	}
 }
 
+// ResetPoolStats zeroes the buffer pool's hit/miss counters while
+// keeping resident pages, so a measurement phase's PoolHitRate
+// excludes another phase's misses (e.g. the readcache experiment's
+// churn-phase hit rate must not blend in bulk-load misses).
+func (d *Database) ResetPoolStats() { d.pool.Reset() }
+
 // CheckInvariants cross-checks allocation bitmaps against the row table.
 // Intended for tests.
 func (d *Database) CheckInvariants() {

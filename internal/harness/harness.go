@@ -50,6 +50,9 @@ type Config struct {
 	// StreamCounts is the concurrent-writer sweep of the "interleave"
 	// experiment (nil takes 1, 4, 16).
 	StreamCounts []int
+	// CacheBytes is the capacity sweep of the "readcache" experiment
+	// in bytes; 0 entries mean "no cache" (nil takes 0, 64M, 256M).
+	CacheBytes []int64
 	// NoOwnerMap disables the disk owner map (large-volume runs).
 	NoOwnerMap bool
 	// Log receives progress lines; nil silences them.
@@ -120,6 +123,7 @@ var Experiments = []Experiment{
 	{ID: "policy", Title: "Allocation policy comparison", Paper: "§3.2, §3.4", Run: PolicyComparison},
 	{ID: "shard", Title: "Sharded multi-volume fragmentation sweep", Paper: "Figure 6 extension, §5.4", Run: ShardSweep},
 	{ID: "interleave", Title: "Concurrent writer streams with group commit", Paper: "§6 extension, §3.1", Run: InterleaveSweep},
+	{ID: "readcache", Title: "Read-path cache capacity sweep with Zipf reads", Paper: "§5 extension, read path", Run: ReadCacheSweep},
 }
 
 // ByID returns the experiment with the given ID.

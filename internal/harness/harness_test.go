@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -42,8 +43,8 @@ func findSeries(t *testing.T, tb *stats.Table, name string) *stats.Series {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 14 {
-		t.Fatalf("expected 14 experiments, have %d", len(Experiments))
+	if len(Experiments) != 15 {
+		t.Fatalf("expected 15 experiments, have %d", len(Experiments))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments {
@@ -431,6 +432,47 @@ func TestInterleaveSweep(t *testing.T) {
 		}
 		if got := mustY(t, b, 8); got <= 1 {
 			t.Errorf("%s: 8 streams coalesced only %.2f commits/force", backend, got)
+		}
+	}
+}
+
+// TestReadCacheSweep pins the read-path acceptance shape at test
+// scale: with a Zipf read mix over an aged layout, the hit rate rises
+// with cache capacity, effective read MB/s rises with the hit rate,
+// and every reported value is finite — no Inf/NaN even when most reads
+// are served at memory speed.
+func TestReadCacheSweep(t *testing.T) {
+	cfg := TestConfig()
+	cfg.CacheBytes = []int64{0, 16 * units.MB, 512 * units.MB}
+	tables, err := ReadCacheSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("ReadCacheSweep returned %d tables", len(tables))
+	}
+	hits, tput := tables[0], tables[1]
+	for _, backend := range []string{"Filesystem", "Database"} {
+		h := findSeries(t, hits, backend)
+		if got := mustY(t, h, 0); got != 0 {
+			t.Errorf("%s: hit rate %.2f without a cache", backend, got)
+		}
+		small, big := mustY(t, h, 16), mustY(t, h, 512)
+		if small <= 0 {
+			t.Errorf("%s: no hits at 16M", backend)
+		}
+		if big < small {
+			t.Errorf("%s: hit rate fell with capacity: %.2f at 16M vs %.2f at 512M", backend, small, big)
+		}
+		tp := findSeries(t, tput, backend)
+		cold, warm := mustY(t, tp, 0), mustY(t, tp, 512)
+		if warm <= cold {
+			t.Errorf("%s: cache did not raise read throughput: %.1f vs %.1f MB/s", backend, cold, warm)
+		}
+		for _, p := range append(append([]stats.Point{}, h.Points...), tp.Points...) {
+			if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				t.Fatalf("%s: non-finite reported value %v at x=%g", backend, p.Y, p.X)
+			}
 		}
 	}
 }

@@ -84,9 +84,13 @@ func RoundUp(n, align int64) int64 {
 	return CeilDiv(n, align) * align
 }
 
-// MBps formats a bytes-over-seconds rate as MB/s with two decimals.
+// MBps returns a bytes-over-seconds rate in MB/s. Degenerate intervals
+// are clamped to 0 instead of dividing through to Inf or NaN: an
+// all-hit read phase served from a memory cache can leave virtual
+// elapsed seconds at (or indistinguishably near) zero, and a NaN input
+// would otherwise slip through a plain <= comparison.
 func MBps(bytes int64, seconds float64) float64 {
-	if seconds <= 0 {
+	if !(seconds > 0) { // also catches NaN, which fails every comparison
 		return 0
 	}
 	return float64(bytes) / float64(MB) / seconds

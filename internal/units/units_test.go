@@ -1,6 +1,9 @@
 package units
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestFormatBytes(t *testing.T) {
 	cases := []struct {
@@ -76,5 +79,16 @@ func TestMBps(t *testing.T) {
 	}
 	if MBps(MB, 0) != 0 {
 		t.Fatal("MBps with zero time should be 0")
+	}
+	// Degenerate intervals must clamp, never produce Inf/NaN — an
+	// all-hit cached read phase makes zero (and negative, via skipped
+	// -time subtraction) elapsed seconds reachable.
+	for _, sec := range []float64{0, -1, math.NaN()} {
+		if got := MBps(MB, sec); got != 0 {
+			t.Fatalf("MBps(1MB, %v) = %v, want 0", sec, got)
+		}
+	}
+	if got := MBps(0, math.Inf(1)); got != 0 {
+		t.Fatalf("MBps over infinite time = %v, want 0", got)
 	}
 }

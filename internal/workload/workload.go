@@ -21,6 +21,20 @@ import (
 	"repro/internal/vclock"
 )
 
+// Typed errors for workload misconfiguration, in the spirit of
+// blob.ErrBadOption: dispatch with errors.Is, never by message text.
+var (
+	// ErrNoSamples reports a read-throughput measurement asked for zero
+	// or negative samples. An empty Result from such a phase would
+	// propagate 0/0 artifacts into downstream rate math, so the phase
+	// refuses instead of silently returning nothing.
+	ErrNoSamples = errors.New("workload: read measurement needs samples > 0")
+
+	// ErrBadDist reports an invalid size- or popularity-distribution
+	// parameterization (NewZipf, NewZipfPopularity).
+	ErrBadDist = errors.New("workload: invalid distribution")
+)
+
 // SizeDist is an object-size distribution.
 type SizeDist interface {
 	// Name identifies the distribution in reports.
@@ -237,18 +251,83 @@ func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
 	return res, nil
 }
 
+// ReadOptions controls a read-throughput measurement phase.
+type ReadOptions struct {
+	// Popularity picks which live object each read targets; nil reads
+	// uniformly (the paper's §4.3 simplification). A Zipf popularity
+	// concentrates reads on a hot set — the regime where a read cache
+	// above the store pays off.
+	Popularity Popularity
+}
+
+// Popularity picks the index of the object one read targets among n
+// live objects. Implementations must return a value in [0, n).
+type Popularity interface {
+	// Name identifies the popularity mix in reports.
+	Name() string
+	// Pick draws one object index in [0, n).
+	Pick(rng *rand.Rand, n int) int
+}
+
 // MeasureReadThroughput reads `samples` uniformly chosen objects and
 // returns the payload throughput in MB/s of virtual time — the paper's
-// primary performance indicator (§5).
+// primary performance indicator (§5). samples <= 0 is refused with
+// ErrNoSamples.
 func (r *Runner) MeasureReadThroughput(samples int) (Result, error) {
-	w := r.clockWatch()
+	return r.MeasureRead(samples, ReadOptions{})
+}
+
+// MeasureRead reads `samples` objects drawn by opts.Popularity
+// (uniform when nil) and returns the payload throughput in MB/s of
+// virtual time.
+func (r *Runner) MeasureRead(samples int, opts ReadOptions) (Result, error) {
+	res, err := readPhase(r.ctx, r.Repo(), r.keys, samples, r.rng, opts)
+	if err != nil {
+		return res, err
+	}
+	res.EndingAge = r.tracker.Age()
+	return res, nil
+}
+
+// ReadPhase reads `samples` objects drawn from keys by opts.Popularity
+// through s with a private seeded RNG. It is the standalone form of
+// Runner.MeasureRead for measuring the same aged layout through
+// different read paths (e.g. the same store behind several cache
+// capacities) with an identical key sequence per seed.
+func ReadPhase(ctx context.Context, s blob.Store, keys []string, samples int,
+	seed int64, opts ReadOptions) (Result, error) {
+	return readPhase(ctx, s, keys, samples, rand.New(rand.NewSource(seed)), opts)
+}
+
+// readPhase is the shared read-measurement loop.
+func readPhase(ctx context.Context, s blob.Store, keys []string, samples int,
+	rng *rand.Rand, opts ReadOptions) (Result, error) {
 	var res Result
-	if len(r.keys) == 0 {
+	if samples <= 0 {
+		return res, fmt.Errorf("%w: got %d", ErrNoSamples, samples)
+	}
+	if len(keys) == 0 {
 		return res, fmt.Errorf("workload: measure before bulk load")
 	}
+	pick := func() int { return rng.Intn(len(keys)) }
+	if pop := opts.Popularity; pop != nil {
+		pick = func() int { return pop.Pick(rng, len(keys)) }
+		// A popularity exposing a phase-bound sampler (ZipfPopularity
+		// does) sets it up once instead of once per draw.
+		if pp, ok := pop.(interface {
+			Picker(*rand.Rand, int) func() int
+		}); ok {
+			pick = pp.Picker(rng, len(keys))
+		}
+	}
+	w := vclock.StartWatch(s.Clock())
 	for i := 0; i < samples; i++ {
-		key := r.keys[r.rng.Intn(len(r.keys))]
-		n, _, err := blob.Get(r.ctx, r.Repo(), key)
+		idx := pick()
+		if opts.Popularity != nil && (idx < 0 || idx >= len(keys)) {
+			return res, fmt.Errorf("%w: popularity %s picked %d of %d objects",
+				ErrBadDist, opts.Popularity.Name(), idx, len(keys))
+		}
+		n, _, err := blob.Get(ctx, s, keys[idx])
 		if err != nil {
 			return res, err
 		}
@@ -257,8 +336,7 @@ func (r *Runner) MeasureReadThroughput(samples int) (Result, error) {
 	}
 	res.Seconds = w.Seconds()
 	res.MBps = units.MBps(res.Bytes, res.Seconds)
-	res.EndingAge = r.tracker.Age()
-	res.ObjectsAlive = r.Repo().ObjectCount()
+	res.ObjectsAlive = s.ObjectCount()
 	return res, nil
 }
 

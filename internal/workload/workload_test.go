@@ -128,6 +128,56 @@ func TestMeasureReadThroughput(t *testing.T) {
 	}
 }
 
+// TestMeasureReadRejectsBadSamples pins the typed rejection: a
+// zero/negative sample count must fail ErrNoSamples instead of
+// silently returning an empty Result for downstream 0/0 rate math.
+func TestMeasureReadRejectsBadSamples(t *testing.T) {
+	r := NewRunner(newFS(128*units.MB), Constant{Size: 512 * units.KB}, 3)
+	if _, err := r.BulkLoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	for _, samples := range []int{0, -7} {
+		if _, err := r.MeasureReadThroughput(samples); !errors.Is(err, ErrNoSamples) {
+			t.Fatalf("MeasureReadThroughput(%d) = %v, want ErrNoSamples", samples, err)
+		}
+	}
+	if _, err := ReadPhase(context.Background(), r.Repo(), r.Keys(), 0, 1, ReadOptions{}); !errors.Is(err, ErrNoSamples) {
+		t.Fatal("ReadPhase accepted 0 samples")
+	}
+}
+
+// TestZipfPopularityReadMix pins the Zipf read phase: it reads real
+// objects, concentrates on the hot prefix of the keyspace, and
+// ReadPhase with a fixed seed is reproducible over the same layout.
+func TestZipfPopularityReadMix(t *testing.T) {
+	r := NewRunner(newFS(128*units.MB), Constant{Size: 512 * units.KB}, 3)
+	if _, err := r.BulkLoad(0.4); err != nil {
+		t.Fatal(err)
+	}
+	pop, err := NewZipfPopularity(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.MeasureRead(50, ReadOptions{Popularity: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 50 || res.Bytes != 50*512*units.KB || res.MBps <= 0 {
+		t.Fatalf("zipf read phase: %+v", res)
+	}
+	a, err := ReadPhase(context.Background(), r.Repo(), r.Keys(), 40, 9, ReadOptions{Popularity: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadPhase(context.Background(), r.Repo(), r.Keys(), 40, 9, ReadOptions{Popularity: pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.Bytes != b.Bytes {
+		t.Fatalf("ReadPhase not reproducible: %+v vs %+v", a, b)
+	}
+}
+
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() (float64, int) {
 		r := NewRunner(newFS(128*units.MB), UniformAround(1*units.MB), 42)

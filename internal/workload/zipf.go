@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/units"
@@ -13,10 +14,34 @@ import (
 // would be based on speculation"); this one is provided as an extension
 // for users who want heavy-tailed workloads, with the same interface as
 // the paper's constant and uniform distributions.
+//
+// Construct through NewZipf, which validates the parameters. The zero
+// value's field defaults (Min 4 KB, S 1.5, Max clamped up to Min) are
+// kept for direct literal use, but a literal with Max < Min or Min <= 0
+// is silently reshaped rather than rejected — exactly the quiet
+// fallback NewZipf exists to refuse.
 type Zipf struct {
 	Min, Max int64
 	// S is the Zipf exponent (> 1); 0 takes 1.5.
 	S float64
+}
+
+// NewZipf builds a validated size distribution: 0 < min <= max and
+// exponent s > 1 (or s == 0 for the 1.5 default). Violations are
+// refused with an error wrapping ErrBadDist instead of the zero
+// value's silent fallbacks.
+func NewZipf(min, max int64, s float64) (Zipf, error) {
+	if min <= 0 {
+		return Zipf{}, fmt.Errorf("%w: zipf min %d must be positive", ErrBadDist, min)
+	}
+	if max < min {
+		return Zipf{}, fmt.Errorf("%w: zipf max %s below min %s",
+			ErrBadDist, units.FormatBytes(max), units.FormatBytes(min))
+	}
+	if s != 0 && (s <= 1 || math.IsNaN(s) || math.IsInf(s, 0)) {
+		return Zipf{}, fmt.Errorf("%w: zipf exponent %v must be > 1 (0 takes 1.5)", ErrBadDist, s)
+	}
+	return Zipf{Min: min, Max: max, S: s}, nil
 }
 
 // Name implements SizeDist.
@@ -24,19 +49,49 @@ func (z Zipf) Name() string {
 	return fmt.Sprintf("zipf %s..%s", units.FormatBytes(z.Min), units.FormatBytes(z.Max))
 }
 
-// Mean implements SizeDist. It is computed numerically over the bucketed
-// support, so it is exact for the sampler below.
+// Mean implements SizeDist. It is the exact expectation of the sampler
+// below: bucket weights times each bucket's own mean (uniform within
+// [b, 2b) clamped to the distribution's upper bound).
 func (z Zipf) Mean() int64 {
 	buckets, weights := z.buckets()
+	hi := z.upperBound(buckets)
 	var total, wsum float64
 	for i, b := range buckets {
-		total += float64(b) * weights[i]
+		total += bucketMean(b, hi) * weights[i]
 		wsum += weights[i]
 	}
 	if wsum == 0 {
+		// Unreachable for NewZipf-validated parameters: buckets() always
+		// yields at least one bucket of positive weight.
 		return z.Min
 	}
 	return int64(total / wsum)
+}
+
+// bucketMean returns the expectation of one bucket's sample: uniform on
+// [b, 2b) with every value above hi collapsed onto hi.
+func bucketMean(b, hi int64) float64 {
+	if hi <= b {
+		return float64(hi)
+	}
+	if hi >= 2*b-1 {
+		// Whole bucket in range: mean of uniform [b, 2b).
+		return float64(b) + float64(b-1)/2
+	}
+	// Values b..hi-1 kept (each probability 1/b), the rest clamp to hi.
+	kept := float64(hi - b)
+	span := float64(b)
+	meanKept := (float64(b) + float64(hi-1)) / 2
+	return meanKept*(kept/span) + float64(hi)*(1-kept/span)
+}
+
+// upperBound returns the sampler's effective maximum value.
+func (z Zipf) upperBound(buckets []int64) int64 {
+	hi := buckets[len(buckets)-1] * 2
+	if z.Max > 0 && z.Max < hi {
+		hi = z.Max
+	}
+	return hi
 }
 
 // buckets returns geometric size buckets spanning [Min, Max] and their
@@ -56,26 +111,10 @@ func (z Zipf) buckets() ([]int64, []float64) {
 	rank := 1.0
 	for b := lo; b <= hi; b *= 2 {
 		buckets = append(buckets, b)
-		weights = append(weights, 1.0/pow(rank, s))
+		weights = append(weights, 1.0/math.Pow(rank, s))
 		rank++
 	}
 	return buckets, weights
-}
-
-func pow(base, exp float64) float64 {
-	// Tiny positive-base power; exp in [1, ~4]. Avoids importing math for
-	// one call site — iterate via exp/ln would be overkill; use the
-	// classic repeated-multiplication on the integer part and a linear
-	// correction for the fraction, which is plenty for sampling weights.
-	out := 1.0
-	for exp >= 1 {
-		out *= base
-		exp--
-	}
-	if exp > 0 {
-		out *= 1 + exp*(base-1)
-	}
-	return out
 }
 
 // Sample implements SizeDist: pick a bucket by Zipf weight, then a size
@@ -86,10 +125,7 @@ func (z Zipf) Sample(rng *rand.Rand) int64 {
 	for _, w := range weights {
 		wsum += w
 	}
-	hi := buckets[len(buckets)-1] * 2 // effective upper bound after defaults
-	if z.Max > 0 && z.Max < hi {
-		hi = z.Max
-	}
+	hi := z.upperBound(buckets)
 	x := rng.Float64() * wsum
 	for i, w := range weights {
 		if x < w || i == len(buckets)-1 {
@@ -107,3 +143,60 @@ func (z Zipf) Sample(rng *rand.Rand) int64 {
 }
 
 var _ SizeDist = Zipf{}
+
+// ZipfPopularity is a rank-based Zipf read mix over the live object
+// population: object rank k is read with probability proportional to
+// (1+k)^-S, concentrating reads on a stable hot set. It is the
+// Popularity counterpart of the Zipf size distribution above, for the
+// read-cache experiments: with a memory cache over the store, a Zipf
+// read mix is the regime where hot objects never touch the fragmented
+// layout.
+type ZipfPopularity struct {
+	// S is the skew exponent, > 1. Larger concentrates more of the
+	// traffic on fewer objects.
+	S float64
+}
+
+// NewZipfPopularity builds a validated Zipf read mix; s must be > 1
+// (math/rand's Zipf sampler requires it), refused with ErrBadDist
+// otherwise.
+func NewZipfPopularity(s float64) (ZipfPopularity, error) {
+	if !(s > 1) || math.IsInf(s, 0) {
+		return ZipfPopularity{}, fmt.Errorf("%w: zipf popularity exponent %v must be > 1", ErrBadDist, s)
+	}
+	return ZipfPopularity{S: s}, nil
+}
+
+// Name implements Popularity.
+func (p ZipfPopularity) Name() string { return fmt.Sprintf("zipf(s=%.2f)", p.S) }
+
+// Pick implements Popularity: rank 0 (the first-created live object) is
+// the hottest. Draws come from math/rand's bounded Zipf sampler seeded
+// by the phase RNG, so a fixed seed yields a fixed read sequence.
+// Phases that draw many samples at fixed n should use Picker instead —
+// Pick pays the sampler's setup on every call.
+func (p ZipfPopularity) Pick(rng *rand.Rand, n int) int {
+	return p.Picker(rng, n)()
+}
+
+// Picker returns a sampler bound to rng and a fixed population size,
+// paying rand.NewZipf's setup once per phase instead of once per draw.
+// readPhase detects this method and hoists it out of its sample loop;
+// the draws consume rng identically either way (NewZipf itself consumes
+// no randomness), so Pick and Picker yield the same sequence.
+func (p ZipfPopularity) Picker(rng *rand.Rand, n int) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
+	s := p.S
+	if !(s > 1) {
+		// A literal built without NewZipfPopularity (zero value, or any
+		// exponent math/rand's sampler rejects by returning nil, which
+		// would nil-deref below) falls back to the 1.2 default.
+		s = 1.2
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+var _ Popularity = ZipfPopularity{}

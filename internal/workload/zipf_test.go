@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -39,21 +41,127 @@ func TestZipfSkew(t *testing.T) {
 	}
 }
 
-func TestZipfMeanConsistent(t *testing.T) {
-	z := Zipf{Min: 64 * units.KB, Max: 16 * units.MB}
-	rng := rand.New(rand.NewSource(3))
-	var sum float64
-	const n = 50000
-	for i := 0; i < n; i++ {
-		sum += float64(z.Sample(rng))
+// TestZipfMeanSampleAgreement pins Mean() to the sampler it describes:
+// across parameterizations, the empirical mean of Sample() must match
+// the declared Mean() closely (Mean is computed as the sampler's exact
+// expectation, so the tolerance only covers sampling noise).
+func TestZipfMeanSampleAgreement(t *testing.T) {
+	cases := []struct {
+		name string
+		min  int64
+		max  int64
+		s    float64
+	}{
+		{"default-exponent", 64 * units.KB, 16 * units.MB, 0},
+		{"mild-skew", 64 * units.KB, 16 * units.MB, 1.1},
+		{"heavy-skew", 4 * units.KB, 64 * units.MB, 3},
+		{"single-bucket", 256 * units.KB, 256 * units.KB, 1.5},
+		{"narrow", units.MB, 3 * units.MB, 2},
 	}
-	sampleMean := sum / n
-	declared := float64(z.Mean())
-	ratio := sampleMean / declared
-	// The declared mean uses bucket lower bounds; samples are uniform
-	// within buckets, so the sample mean runs up to ~1.5x higher.
-	if ratio < 0.8 || ratio > 1.8 {
-		t.Fatalf("sample mean %.0f vs declared %.0f (ratio %.2f)", sampleMean, declared, ratio)
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z, err := NewZipf(tc.min, tc.max, tc.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(3 + i)))
+			var sum float64
+			const n = 100000
+			for j := 0; j < n; j++ {
+				s := z.Sample(rng)
+				if s < z.Min || s > z.Max {
+					t.Fatalf("sample %d outside [%d,%d]", s, z.Min, z.Max)
+				}
+				sum += float64(s)
+			}
+			sampleMean := sum / n
+			declared := float64(z.Mean())
+			// Tolerance covers sampling noise only; heavy-tailed cases
+			// put real variance in the rare large buckets.
+			if ratio := sampleMean / declared; ratio < 0.93 || ratio > 1.07 {
+				t.Fatalf("sample mean %.0f vs declared %.0f (ratio %.3f)", sampleMean, declared, ratio)
+			}
+		})
+	}
+}
+
+// TestNewZipfValidation pins the constructor's typed rejections: the
+// zero value's silent fallbacks (Mean() returning Min, the S=0 magic,
+// missing Min<=Max / Min>0 checks) must not survive the validated path.
+func TestNewZipfValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		min  int64
+		max  int64
+		s    float64
+	}{
+		{"zero-min", 0, units.MB, 1.5},
+		{"negative-min", -4096, units.MB, 1.5},
+		{"max-below-min", units.MB, 64 * units.KB, 1.5},
+		{"exponent-at-one", 64 * units.KB, units.MB, 1},
+		{"exponent-below-one", 64 * units.KB, units.MB, 0.5},
+		{"negative-exponent", 64 * units.KB, units.MB, -2},
+		{"nan-exponent", 64 * units.KB, units.MB, math.NaN()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewZipf(tc.min, tc.max, tc.s); !errors.Is(err, ErrBadDist) {
+				t.Fatalf("NewZipf(%d, %d, %v) = %v, want ErrBadDist", tc.min, tc.max, tc.s, err)
+			}
+		})
+	}
+	z, err := NewZipf(64*units.KB, 16*units.MB, 0) // 0 keeps the 1.5 default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Mean() <= 0 {
+		t.Fatalf("validated Mean = %d", z.Mean())
+	}
+}
+
+// TestZipfPopularity pins the read mix: validated construction, picks
+// in range, deterministic under a fixed seed, and skewed toward the
+// low (hot) ranks.
+func TestZipfPopularity(t *testing.T) {
+	for _, s := range []float64{1, 0.3, -1, math.Inf(1)} {
+		if _, err := NewZipfPopularity(s); !errors.Is(err, ErrBadDist) {
+			t.Fatalf("NewZipfPopularity(%v) = %v, want ErrBadDist", s, err)
+		}
+	}
+	pop, err := NewZipfPopularity(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		idx := pop.Pick(rng, n)
+		if idx < 0 || idx >= n {
+			t.Fatalf("pick %d outside [0,%d)", idx, n)
+		}
+		counts[idx]++
+	}
+	hot, cold := 0, 0
+	for i, c := range counts {
+		if i < n/10 {
+			hot += c
+		} else if i >= n/2 {
+			cold += c
+		}
+	}
+	if hot <= 2*cold {
+		t.Fatalf("zipf popularity not skewed: hot decile %d vs cold half %d", hot, cold)
+	}
+	// Same seed, same sequence.
+	a, b := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if pop.Pick(a, n) != pop.Pick(b, n) {
+			t.Fatal("popularity picks not deterministic under a fixed seed")
+		}
+	}
+	if pop.Pick(rng, 1) != 0 || pop.Pick(rng, 0) != 0 {
+		t.Fatal("degenerate populations must pick index 0")
 	}
 }
 
@@ -79,5 +187,20 @@ func TestZipfDrivesWorkload(t *testing.T) {
 	}
 	if r.Tracker().Age() < 1 {
 		t.Fatalf("age %.2f", r.Tracker().Age())
+	}
+}
+
+// TestZipfPopularityLiteralFallback pins that a literal built without
+// the validating constructor cannot nil-deref math/rand's sampler: any
+// exponent the sampler rejects (<= 1) falls back to the 1.2 default.
+func TestZipfPopularityLiteralFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range []float64{0, 0.5, 1, -3} {
+		pop := ZipfPopularity{S: s}
+		for i := 0; i < 50; i++ {
+			if idx := pop.Pick(rng, 100); idx < 0 || idx >= 100 {
+				t.Fatalf("S=%v: pick %d outside [0,100)", s, idx)
+			}
+		}
 	}
 }
