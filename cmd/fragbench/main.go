@@ -14,6 +14,9 @@
 //	fragbench -shards 32 shard     # ... sweeping 1..32 shards
 //	fragbench interleave           # k concurrent writer streams, group commit on
 //	fragbench -streams 1,4,16 interleave  # ... with an explicit k sweep
+//	fragbench tracereplay          # record a churn run, replay it at k=1,4,16
+//	fragbench -trace ops.log -streams 1,8 tracereplay  # replay a recorded log
+//	fragbench -dist uniform:5M-15M interleave  # uniform object sizes
 //	fragbench -quick all           # every experiment at miniature scale
 //	fragbench -csv fig1            # CSV output for plotting
 package main
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,7 +44,9 @@ func main() {
 		samples = flag.Int("samples", 0, "reads per throughput measurement (default 200)")
 		seed    = flag.Int64("seed", 0, "workload random seed (default 1)")
 		shards  = flag.Int("shards", 0, "max shard count for the shard sweep (default 16)")
-		streams = flag.String("streams", "", "comma-separated writer-stream counts for the interleave sweep (default 1,4,16)")
+		streams = flag.String("streams", "", "comma-separated writer-stream counts for the interleave/tracereplay sweeps (default 1,4,16)")
+		dist    = flag.String("dist", "", "object-size distribution for the interleave/tracereplay sweeps: constant:SIZE or uniform:MIN-MAX (default constant, ~400 objects/volume)")
+		tracef  = flag.String("trace", "", "recorded trace file for the tracereplay experiment (default: record a synthetic churn run)")
 		caches  = flag.String("cache", "", "comma-separated cache capacities for the readcache sweep, 0 = no cache (default 0,64M,256M)")
 		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -117,6 +123,17 @@ func main() {
 			}
 			cfg.CacheBytes = append(cfg.CacheBytes, n)
 		}
+	}
+	if *dist != "" {
+		d, err := workload.ParseDist(*dist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Dist = d
+	}
+	if *tracef != "" {
+		cfg.TracePath = *tracef
 	}
 	if *verbose {
 		cfg.Log = os.Stderr

@@ -53,6 +53,14 @@ type Config struct {
 	// CacheBytes is the capacity sweep of the "readcache" experiment
 	// in bytes; 0 entries mean "no cache" (nil takes 0, 64M, 256M).
 	CacheBytes []int64
+	// Dist overrides the object-size distribution of the Source-driven
+	// sweeps (interleave, tracereplay); nil takes the scale-derived
+	// constant size. Set from the fragbench -dist flag
+	// (e.g. uniform:5M-15M) to probe the fs-interleaving regime.
+	Dist workload.SizeDist
+	// TracePath replays a recorded trace file in the "tracereplay"
+	// experiment instead of recording a synthetic churn run first.
+	TracePath string
 	// NoOwnerMap disables the disk owner map (large-volume runs).
 	NoOwnerMap bool
 	// Log receives progress lines; nil silences them.
@@ -124,6 +132,7 @@ var Experiments = []Experiment{
 	{ID: "shard", Title: "Sharded multi-volume fragmentation sweep", Paper: "Figure 6 extension, §5.4", Run: ShardSweep},
 	{ID: "interleave", Title: "Concurrent writer streams with group commit", Paper: "§6 extension, §3.1", Run: InterleaveSweep},
 	{ID: "readcache", Title: "Read-path cache capacity sweep with Zipf reads", Paper: "§5 extension, read path", Run: ReadCacheSweep},
+	{ID: "tracereplay", Title: "Recorded-trace replay across k concurrent writer streams", Paper: "§6 + §5.4 trace-based generation", Run: TraceReplaySweep},
 }
 
 // ByID returns the experiment with the given ID.
@@ -172,6 +181,16 @@ func (c Config) storeOptions(writeReq int64) []blob.Option {
 		opts = append(opts, blob.WithoutOwnerMap())
 	}
 	return opts
+}
+
+// sizeDist returns the object-size distribution of the Source-driven
+// sweeps: Config.Dist when set, else the scale-derived constant size
+// (~400 objects per volume, the shard/interleave sweeps' convention).
+func (c Config) sizeDist() workload.SizeDist {
+	if c.Dist != nil {
+		return c.Dist
+	}
+	return workload.Constant{Size: units.RoundUp(c.VolumeBytes/400, 64*units.KB)}
 }
 
 // meanFrags measures mean fragments/object for any store.

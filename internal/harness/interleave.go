@@ -40,13 +40,12 @@ func (c Config) streamCounts() []int {
 // the earlier baseline.
 func InterleaveSweep(c Config) ([]*stats.Table, error) {
 	counts := c.streamCounts()
-	objSize := units.RoundUp(c.VolumeBytes/400, 64*units.KB)
-	dist := workload.Constant{Size: objSize}
+	dist := c.sizeDist()
 	targetAge := c.MaxAge / 2
 
 	frags := stats.NewTable(
 		fmt.Sprintf("Concurrent writer streams: fragmentation vs k (%s volume, %s objects, age %.1f)",
-			units.FormatBytes(c.VolumeBytes), units.FormatBytes(objSize), targetAge),
+			units.FormatBytes(c.VolumeBytes), dist.Name(), targetAge),
 		"Writer streams", "Fragments/object")
 	tput := stats.NewTable("Concurrent writer streams: churn write throughput vs k",
 		"Writer streams", "MB/sec")

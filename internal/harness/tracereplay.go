@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// TraceReplaySweep extends the §6 interleaving measurement from
+// synthetic churn to recorded operation logs: record one single-writer
+// churn run as a trace (or load one from Config.TracePath), partition
+// it into k replay streams (per-key hash routing, so every object's
+// put/replace/get order survives), and replay each partitioning
+// against a fresh store through the shared workload.Executor with group
+// commit enabled — the same engine and commit pipeline the synthetic
+// "interleave" sweep drives.
+//
+// The k=1 arm replays the log in its recorded order and must land
+// exactly on the synthetic single-writer baseline (at default scale:
+// db 6.70, fs 1.60 fragments/object at 4 GB / age 5); the k>1 arms
+// show what stream interleaving does to the SAME operation log, the
+// comparison the paper's §6 calls for on real traces.
+func TraceReplaySweep(c Config) ([]*stats.Table, error) {
+	ctx := context.Background()
+	counts := c.streamCounts()
+	dist := c.sizeDist()
+	targetAge := c.MaxAge / 2
+
+	var fileOps []trace.Op
+	traceName := "recorded synthetic churn"
+	if c.TracePath != "" {
+		f, err := os.Open(c.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		fileOps, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.TracePath, err)
+		}
+		if len(fileOps) == 0 {
+			// An op-less file must not fall through to the synthetic
+			// recording path under the user's trace name.
+			return nil, fmt.Errorf("%s: trace has no operations", c.TracePath)
+		}
+		traceName = c.TracePath
+	}
+
+	frags := stats.NewTable(
+		fmt.Sprintf("Trace replay: fragmentation vs replay streams (%s, %s volume, age %.1f)",
+			traceName, units.FormatBytes(c.VolumeBytes), targetAge),
+		"Replay streams", "Fragments/object")
+	tput := stats.NewTable("Trace replay: write throughput vs replay streams",
+		"Replay streams", "MB/sec")
+
+	for _, kind := range []string{"database", "filesystem"} {
+		name := "Database"
+		if kind == "filesystem" {
+			name = "Filesystem"
+		}
+		fragSeries := frags.AddSeries(name)
+		tputSeries := tput.AddSeries(name)
+
+		ops := fileOps
+		if ops == nil {
+			recorded, baseline, err := c.recordChurnTrace(kind, dist, targetAge)
+			if err != nil {
+				return nil, err
+			}
+			ops = recorded
+			c.logf("tracereplay %s: recorded %d ops (synthetic baseline %.2f frags/obj)",
+				kind, len(ops), baseline)
+		}
+
+		for _, k := range counts {
+			if k < 1 {
+				return nil, fmt.Errorf("tracereplay: stream count %d < 1", k)
+			}
+			mf, res, err := c.replayArm(ctx, kind, k, ops)
+			if err != nil {
+				return nil, err
+			}
+			fragSeries.Add(float64(k), mf)
+			tputSeries.Add(float64(k), res.WriteMBps)
+			c.logf("tracereplay %s k=%d: %.2f frags/obj, %.2f MB/s over %d ops (age %.2f)",
+				kind, k, mf, res.WriteMBps, res.Ops, res.StorageAge)
+		}
+	}
+	frags.Note("one recorded log, re-partitioned per arm: k=1 replays the recorded allocation order and must reproduce the synthetic single-writer baseline; k>1 routes each key's ops to one of k concurrent streams (per-key order preserved) — §6's interleaving driven by a real operation log. Compare with the synthetic `interleave` sweep.")
+	tput.Note("replay runs through the shared workload.Executor with group commit enabled (batches up to k), like the interleave sweep")
+	return []*stats.Table{frags, tput}, nil
+}
+
+// recordChurnTrace runs the single-writer churn workload through a
+// trace.Recorder on a fresh store and returns the recorded log plus the
+// recording store's converged fragments/object — the synthetic k=1
+// baseline the replay arms are compared against.
+func (c Config) recordChurnTrace(kind string, dist workload.SizeDist, targetAge float64) ([]trace.Op, float64, error) {
+	store, err := c.newStore(kind, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := trace.NewRecorder(store)
+	runner := workload.NewRunner(rec, dist, c.Seed)
+	if _, err := runner.BulkLoad(c.Occupancy); err != nil {
+		return nil, 0, fmt.Errorf("tracereplay %s record load: %w", kind, err)
+	}
+	if _, err := runner.ChurnToAge(targetAge, workload.ChurnOptions{}); err != nil {
+		return nil, 0, fmt.Errorf("tracereplay %s record churn: %w", kind, err)
+	}
+	return rec.Ops(), meanFrags(store), nil
+}
+
+// replayArm replays ops partitioned into k streams against a fresh
+// group-committing store, always shutting the commit pipeline down so
+// no batcher goroutine outlives the arm.
+func (c Config) replayArm(ctx context.Context, kind string, k int, ops []trace.Op) (
+	meanFragments float64, res trace.Result, err error) {
+	store, err := c.newStore(kind, []blob.Option{blob.WithGroupCommit(k, 500*time.Microsecond)})
+	if err != nil {
+		return 0, res, err
+	}
+	defer func() {
+		if cerr := blob.CloseStore(store); err == nil {
+			err = cerr
+		}
+	}()
+	res, err = trace.ReplayStreams(ctx, store, trace.Partition(ops, k))
+	if err != nil {
+		return 0, res, fmt.Errorf("tracereplay %s k=%d: %w", kind, k, err)
+	}
+	return meanFrags(store), res, nil
+}
+
+// newStore builds one backend at experiment scale with extra options
+// appended.
+func (c Config) newStore(kind string, extra []blob.Option) (blob.Store, error) {
+	opts := append(c.storeOptions(64*units.KB), extra...)
+	switch kind {
+	case "filesystem":
+		return core.NewFileStore(vclock.New(), opts...)
+	case "database":
+		return core.NewDBStore(vclock.New(), opts...)
+	default:
+		return nil, fmt.Errorf("harness: unknown backend %q", kind)
+	}
+}

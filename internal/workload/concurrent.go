@@ -2,11 +2,8 @@ package workload
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/blob"
 	"repro/internal/core"
@@ -21,17 +18,17 @@ func vclockWatch(s blob.Store) vclock.Stopwatch { return vclock.StartWatch(s.Clo
 // store — the §6 regime the single-writer Runner cannot reach: "we
 // have not yet characterized the impact of interleaved append requests
 // to multiple objects, which are likely to increase fragmentation."
-// Each stream is a goroutine with its own keyspace (keys are prefixed
-// "s<i>-"), its own seeded RNG, and its own size distribution, so
-// appends from different streams genuinely interleave in allocation
+// Each stream owns its keyspace (keys are prefixed "s<i>-"), its own
+// seeded RNG, and its own size distribution; per phase the runner
+// arranges one Source per stream and the shared Executor fans them out,
+// so appends from different streams genuinely interleave in allocation
 // order while the workload itself stays reproducible per stream.
 //
-// All streams share one AgeTracker: storage age is a property of the
-// volume, not of any writer. A ConcurrentRunner with one stream is the
-// sequential Runner workload under other key names.
+// All streams share one AgeTracker (the Executor's): storage age is a
+// property of the volume, not of any writer. A ConcurrentRunner with
+// one stream is the sequential Runner workload under other key names.
 type ConcurrentRunner struct {
-	ctx     context.Context
-	tracker *core.AgeTracker
+	exec    *Executor
 	streams []*stream
 }
 
@@ -43,7 +40,6 @@ type stream struct {
 	dist SizeDist
 	keys []string
 	next int64
-	res  Result
 }
 
 // UniformStreams returns k copies of dist — the homogeneous-fleet
@@ -60,10 +56,7 @@ func UniformStreams(k int, dist SizeDist) []SizeDist {
 // dists (the per-stream size distributions), all writing to store.
 // Stream i derives its RNG from seed+i.
 func NewConcurrentRunner(store blob.Store, dists []SizeDist, seed int64) *ConcurrentRunner {
-	r := &ConcurrentRunner{
-		ctx:     context.Background(),
-		tracker: core.NewAgeTracker(store),
-	}
+	r := &ConcurrentRunner{exec: NewExecutor(store)}
 	for i, d := range dists {
 		r.streams = append(r.streams, &stream{
 			id:   i,
@@ -76,18 +69,21 @@ func NewConcurrentRunner(store blob.Store, dists []SizeDist, seed int64) *Concur
 
 // WithContext sets the context every stream's operations carry.
 func (r *ConcurrentRunner) WithContext(ctx context.Context) *ConcurrentRunner {
-	r.ctx = ctx
+	r.exec.WithContext(ctx)
 	return r
 }
 
 // Streams returns the number of writer streams.
 func (r *ConcurrentRunner) Streams() int { return len(r.streams) }
 
+// Executor exposes the engine the runner's phases execute through.
+func (r *ConcurrentRunner) Executor() *Executor { return r.exec }
+
 // Tracker exposes the shared storage-age tracker.
-func (r *ConcurrentRunner) Tracker() *core.AgeTracker { return r.tracker }
+func (r *ConcurrentRunner) Tracker() *core.AgeTracker { return r.exec.Tracker() }
 
 // Repo returns the store under test.
-func (r *ConcurrentRunner) Repo() blob.Store { return r.tracker.Store() }
+func (r *ConcurrentRunner) Repo() blob.Store { return r.exec.Store() }
 
 // Keys returns every stream's live keys (stream-major order).
 func (r *ConcurrentRunner) Keys() []string {
@@ -98,12 +94,6 @@ func (r *ConcurrentRunner) Keys() []string {
 	return out
 }
 
-// sample draws a size from s's distribution, rounded up to 4 KB so file
-// and database cluster accounting line up (as Runner does).
-func (s *stream) sample() int64 {
-	return units.RoundUp(s.dist.Sample(s.rng), 4*units.KB)
-}
-
 // key returns stream s's next fresh object key.
 func (s *stream) key() string {
 	k := fmt.Sprintf("s%02d-obj-%08d", s.id, s.next)
@@ -111,40 +101,21 @@ func (s *stream) key() string {
 	return k
 }
 
-// fanOut runs fn once per stream, concurrently, and joins the errors.
-// Each stream accumulates its phase counters into its own Result slot;
-// the caller aggregates afterwards.
-func (r *ConcurrentRunner) fanOut(fn func(s *stream) error) error {
-	errs := make([]error, len(r.streams))
-	var wg sync.WaitGroup
-	for i, s := range r.streams {
-		wg.Add(1)
-		go func(i int, s *stream) {
-			defer wg.Done()
-			errs[i] = fn(s)
-		}(i, s)
+// aggregate folds the per-stream counts into one phase Result.
+func (r *ConcurrentRunner) aggregate(rr RunResult) Result {
+	total := rr.Total()
+	res := Result{
+		Ops:     total.Ops(),
+		Skipped: total.Skipped,
+		Bytes:   total.BytesWritten,
+		Seconds: rr.Seconds,
+		// Under concurrency a skipped op's interval overlaps other
+		// streams' useful work, so no skip-time exclusion applies:
+		// throughput is bytes over the whole phase.
+		MBps:         units.MBps(total.BytesWritten, rr.Seconds),
+		EndingAge:    r.Tracker().Age(),
+		ObjectsAlive: r.Repo().ObjectCount(),
 	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
-// aggregate sums the per-stream counters into one phase Result and
-// stamps the phase-wide clock readings.
-func (r *ConcurrentRunner) aggregate(seconds float64) Result {
-	var res Result
-	for _, s := range r.streams {
-		res.Ops += s.res.Ops
-		res.Skipped += s.res.Skipped
-		res.Bytes += s.res.Bytes
-		s.res = Result{}
-	}
-	res.Seconds = seconds
-	// Under concurrency a skipped op's interval overlaps other streams'
-	// useful work, so no skip-time exclusion applies: throughput is
-	// bytes over the whole phase.
-	res.MBps = units.MBps(res.Bytes, seconds)
-	res.EndingAge = r.tracker.Age()
-	res.ObjectsAlive = r.Repo().ObjectCount()
 	return res
 }
 
@@ -162,37 +133,29 @@ func (r *ConcurrentRunner) BulkLoad(occupancy float64) (Result, error) {
 // resulting ErrNoSpaceLeft is returned (wrapped) for the caller to
 // tolerate, with all other streams' work intact.
 func (r *ConcurrentRunner) BulkLoadBytes(targetBytes int64) (Result, error) {
-	w := vclockWatch(r.Repo())
-	var planned atomic.Int64
-	err := r.fanOut(func(s *stream) error {
-		for {
-			if err := r.ctx.Err(); err != nil {
-				return err
-			}
-			size := s.sample()
-			if planned.Add(size) > targetBytes {
-				planned.Add(-size)
-				return nil
-			}
-			key := s.key()
-			if err := r.tracker.Put(r.ctx, key, size, nil); err != nil {
-				return fmt.Errorf("stream %d bulk load after %d objects: %w", s.id, s.res.Ops, err)
-			}
-			s.keys = append(s.keys, key)
-			s.res.Ops++
-			s.res.Bytes += size
+	budget := NewByteBudget(targetBytes)
+	specs := make([]Stream, len(r.streams))
+	for i, s := range r.streams {
+		s := s
+		specs[i] = Stream{
+			Source: &LoadSource{
+				Dist:     s.dist,
+				Budget:   budget,
+				Key:      s.key,
+				OnCreate: func(key string) { s.keys = append(s.keys, key) },
+			},
+			RNG: s.rng,
 		}
-	})
-	r.tracker.ResetBaseline()
-	res := r.aggregate(w.Seconds())
-	return res, err
+	}
+	rr, err := r.exec.Run(specs, RunOptions{})
+	r.Tracker().ResetBaseline()
+	return r.aggregate(rr), err
 }
 
 // ChurnToAge has all streams safe-write objects from their own
 // keyspaces concurrently until the shared storage age reaches target —
 // the trace shape of §4.3 under the interleaved-writer regime of §6.
 func (r *ConcurrentRunner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
-	w := vclockWatch(r.Repo())
 	loaded := 0
 	for _, s := range r.streams {
 		loaded += len(s.keys)
@@ -200,40 +163,22 @@ func (r *ConcurrentRunner) ChurnToAge(target float64, opts ChurnOptions) (Result
 	if loaded == 0 {
 		return Result{}, fmt.Errorf("workload: churn before bulk load")
 	}
-	err := r.fanOut(func(s *stream) error {
-		if len(s.keys) == 0 {
-			return nil // stream got no budget at load time; idle
+	specs := make([]Stream, len(r.streams))
+	for i, s := range r.streams {
+		// A stream that got no budget at load time has an empty keyspace
+		// and its ChurnSource is immediately exhausted: it idles.
+		specs[i] = Stream{
+			Source: &ChurnSource{
+				Keys:          s.keys,
+				Dist:          s.dist,
+				TargetAge:     target,
+				Age:           r.Tracker().Age,
+				ReadsPerWrite: opts.ReadsPerWrite,
+			},
+			RNG:       s.rng,
+			SkipLimit: 4 * len(s.keys),
 		}
-		consecutiveSkips := 0
-		for r.tracker.Age() < target {
-			if err := r.ctx.Err(); err != nil {
-				return err
-			}
-			key := s.keys[s.rng.Intn(len(s.keys))]
-			size := s.sample()
-			if err := r.tracker.Replace(r.ctx, key, size, nil); err != nil {
-				if opts.TolerateNoSpace && errors.Is(err, blob.ErrNoSpaceLeft) {
-					s.res.Skipped++
-					consecutiveSkips++
-					if consecutiveSkips > 4*len(s.keys) {
-						return fmt.Errorf("stream %d: store full on every try: %w", s.id, err)
-					}
-					continue
-				}
-				return fmt.Errorf("stream %d churn op %d: %w", s.id, s.res.Ops, err)
-			}
-			consecutiveSkips = 0
-			s.res.Ops++
-			s.res.Bytes += size
-			for i := 0; i < opts.ReadsPerWrite; i++ {
-				rk := s.keys[s.rng.Intn(len(s.keys))]
-				if _, _, err := blob.Get(r.ctx, r.Repo(), rk); err != nil {
-					return fmt.Errorf("stream %d interleaved read: %w", s.id, err)
-				}
-			}
-		}
-		return nil
-	})
-	res := r.aggregate(w.Seconds())
-	return res, err
+	}
+	rr, err := r.exec.Run(specs, RunOptions{TolerateNoSpace: opts.TolerateNoSpace})
+	return r.aggregate(rr), err
 }

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/vclock"
+)
+
+// Executor drives k operation streams from any mix of Sources against
+// one blob.Store — the single engine behind the sequential Runner, the
+// ConcurrentRunner, and trace replay. Each Stream runs on its own
+// goroutine drawing ops from its Source with its own RNG, so appends
+// from different streams genuinely interleave in allocation order (the
+// §6 regime) while each stream's op sequence stays reproducible per
+// seed. One stream runs inline on the caller's goroutine, so a k=1
+// phase is byte-for-byte the classic sequential workload.
+//
+// The Executor owns the storage-age accounting: all mutations route
+// through one shared core.AgeTracker (storage age is a property of the
+// volume, not of any writer), and phase timing is read from the store's
+// virtual clock.
+type Executor struct {
+	ctx     context.Context
+	tracker *core.AgeTracker
+}
+
+// NewExecutor creates an executor over store with a fresh AgeTracker.
+func NewExecutor(store blob.Store) *Executor {
+	return &Executor{ctx: context.Background(), tracker: core.NewAgeTracker(store)}
+}
+
+// WithContext sets the context every stream's operations carry, for
+// cancelling a long phase from outside.
+func (e *Executor) WithContext(ctx context.Context) *Executor {
+	e.ctx = ctx
+	return e
+}
+
+// Tracker exposes the shared storage-age tracker.
+func (e *Executor) Tracker() *core.AgeTracker { return e.tracker }
+
+// Store returns the store under test.
+func (e *Executor) Store() blob.Store { return e.tracker.Store() }
+
+// Stream pairs a Source with the RNG that drives it. RNGs are
+// caller-owned so they can persist across phases (the classic Runner
+// semantics: bulk load and churn continue one random sequence).
+type Stream struct {
+	// Source produces the stream's operations.
+	Source Source
+	// RNG drives the source's draws. Each stream needs its own; sharing
+	// one RNG across concurrent streams would race.
+	RNG *rand.Rand
+	// SkipLimit aborts the stream when more than this many CONSECUTIVE
+	// writes are skipped under RunOptions.TolerateNoSpace (0 = no
+	// limit).
+	SkipLimit int
+}
+
+// RunOptions controls one Executor.Run.
+type RunOptions struct {
+	// TolerateNoSpace skips writes failing with blob.ErrNoSpaceLeft
+	// instead of aborting the stream, counting them in Counts.Skipped —
+	// the sharded regime, where one nearly-full shard can refuse a
+	// replace while the fleet has room. Streams still fail once
+	// Stream.SkipLimit consecutive writes are refused, so a genuinely
+	// full store cannot spin forever.
+	TolerateNoSpace bool
+	// TrackSkipTime charges the virtual time burned by each skipped
+	// write to Counts.SkippedSeconds (a refused safe write still pays
+	// for the allocation attempt and its rollback). Single-stream phases
+	// use it to keep refused writes out of throughput means; with k
+	// concurrent streams a skipped op's interval overlaps other streams'
+	// useful work, so there is no idle time to subtract and the option
+	// stays off.
+	TrackSkipTime bool
+}
+
+// Counts is the raw per-stream operation accounting of one run.
+type Counts struct {
+	Creates, Replaces, Deletes, Reads int
+	// Skipped counts writes refused with ErrNoSpaceLeft under
+	// TolerateNoSpace.
+	Skipped int
+	// BytesWritten is payload bytes committed by creates and replaces.
+	BytesWritten int64
+	// BytesRead is payload bytes returned by reads (a ranged read counts
+	// its range length).
+	BytesRead int64
+	// SkippedSeconds is virtual time consumed by skipped writes, when
+	// RunOptions.TrackSkipTime is set.
+	SkippedSeconds float64
+}
+
+// Ops returns the number of operations that executed successfully.
+func (c Counts) Ops() int { return c.Creates + c.Replaces + c.Deletes + c.Reads }
+
+func (c *Counts) add(o Counts) {
+	c.Creates += o.Creates
+	c.Replaces += o.Replaces
+	c.Deletes += o.Deletes
+	c.Reads += o.Reads
+	c.Skipped += o.Skipped
+	c.BytesWritten += o.BytesWritten
+	c.BytesRead += o.BytesRead
+	c.SkippedSeconds += o.SkippedSeconds
+}
+
+// RunResult is one Executor.Run's accounting: per-stream counts plus
+// the phase's span on the store's virtual clock.
+type RunResult struct {
+	// Streams holds one Counts per input stream, in order.
+	Streams []Counts
+	// Seconds is the virtual time the whole run spanned.
+	Seconds float64
+}
+
+// Total sums the per-stream counts.
+func (r RunResult) Total() Counts {
+	var t Counts
+	for _, c := range r.Streams {
+		t.add(c)
+	}
+	return t
+}
+
+// Run drives every stream to exhaustion (or error) concurrently and
+// returns the per-stream accounting. A failing stream does not cancel
+// its siblings — they run to their own completion, as k independent
+// writers would — and all stream errors are joined. Partial counts are
+// returned even on error.
+func (e *Executor) Run(streams []Stream, opts RunOptions) (RunResult, error) {
+	res := RunResult{Streams: make([]Counts, len(streams))}
+	w := vclock.StartWatch(e.Store().Clock())
+	var err error
+	if len(streams) == 1 {
+		// One stream runs inline: no goroutine between the caller and
+		// the classic sequential workload.
+		err = e.runStream(0, streams[0], opts, &res.Streams[0])
+	} else {
+		errs := make([]error, len(streams))
+		var wg sync.WaitGroup
+		for i := range streams {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = e.runStream(i, streams[i], opts, &res.Streams[i])
+			}(i)
+		}
+		wg.Wait()
+		err = errors.Join(errs...)
+	}
+	res.Seconds = w.Seconds()
+	return res, err
+}
+
+// runStream drains one source, executing each op against the store.
+func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts) error {
+	src := st.Source
+	obs, observes := src.(SourceObserver)
+	consecutiveSkips := 0
+	for opIdx := 0; ; opIdx++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		op, ok := src.Next(st.RNG)
+		if !ok {
+			if es, hasErr := src.(sourceErr); hasErr {
+				if err := es.Err(); err != nil {
+					return fmt.Errorf("stream %d (%s): %w", id, src.Name(), err)
+				}
+			}
+			return nil
+		}
+		var opWatch vclock.Stopwatch
+		if opts.TrackSkipTime {
+			opWatch = vclock.StartWatch(e.Store().Clock())
+		}
+		err := e.execOp(op, c)
+		if observes {
+			obs.Observe(op, err)
+		}
+		if err != nil {
+			if opts.TolerateNoSpace && (op.Kind == OpCreate || op.Kind == OpReplace) &&
+				errors.Is(err, blob.ErrNoSpaceLeft) {
+				c.Skipped++
+				if opts.TrackSkipTime {
+					c.SkippedSeconds += opWatch.Seconds()
+				}
+				consecutiveSkips++
+				if st.SkipLimit > 0 && consecutiveSkips > st.SkipLimit {
+					return fmt.Errorf("stream %d (%s) op %d: store full on every try: %w",
+						id, src.Name(), opIdx, err)
+				}
+				continue
+			}
+			return fmt.Errorf("stream %d (%s) op %d (%s): %w", id, src.Name(), opIdx, op, err)
+		}
+		consecutiveSkips = 0
+	}
+}
+
+// execOp executes one op, charging c only on success.
+func (e *Executor) execOp(op Op, c *Counts) error {
+	switch op.Kind {
+	case OpCreate:
+		if err := e.tracker.Put(e.ctx, op.Key, op.Size, nil); err != nil {
+			return err
+		}
+		c.Creates++
+		c.BytesWritten += op.Size
+	case OpReplace:
+		if err := e.tracker.Replace(e.ctx, op.Key, op.Size, nil); err != nil {
+			return err
+		}
+		c.Replaces++
+		c.BytesWritten += op.Size
+	case OpDelete:
+		if err := e.tracker.Delete(e.ctx, op.Key); err != nil {
+			return err
+		}
+		c.Deletes++
+	case OpRead:
+		if op.Len > 0 {
+			r, err := e.Store().Open(e.ctx, op.Key)
+			if err != nil {
+				return err
+			}
+			_, err = r.ReadAt(op.Off, op.Len)
+			r.Close()
+			if err != nil {
+				return err
+			}
+			c.Reads++
+			c.BytesRead += op.Len
+		} else {
+			n, _, err := blob.Get(e.ctx, e.Store(), op.Key)
+			if err != nil {
+				return err
+			}
+			c.Reads++
+			c.BytesRead += n
+		}
+	default:
+		return fmt.Errorf("workload: unknown op kind %v", op.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestByteBudget pins the shared-claim semantics the load streams race
+// on: claims succeed up to the target, the failing claim leaves the
+// budget untouched, and Reserve consumes unconditionally.
+func TestByteBudget(t *testing.T) {
+	b := NewByteBudget(100)
+	if !b.Claim(60) || !b.Claim(40) {
+		t.Fatal("claims within budget refused")
+	}
+	if b.Claim(1) {
+		t.Fatal("claim over budget accepted")
+	}
+	// The refused claim must not leak: an exact-fit claim after a refusal
+	// still succeeds on a fresh budget.
+	b2 := NewByteBudget(100)
+	if b2.Claim(101) {
+		t.Fatal("oversized claim accepted")
+	}
+	if !b2.Claim(100) {
+		t.Fatal("refused claim consumed budget")
+	}
+	b3 := NewByteBudget(100)
+	b3.Reserve(90)
+	if b3.Claim(20) {
+		t.Fatal("claim ignored reservation")
+	}
+	if !b3.Claim(10) {
+		t.Fatal("claim within reserved budget refused")
+	}
+}
+
+// TestLoadSourceStopsAtBudget pins the bulk-load Source: creates flow
+// until the first size that no longer fits, keys are generated only for
+// emitted ops, and OnCreate fires only for ops observed successful.
+func TestLoadSourceStopsAtBudget(t *testing.T) {
+	var created []string
+	n := 0
+	src := &LoadSource{
+		Dist:   Constant{Size: 40 * units.KB},
+		Budget: NewByteBudget(100 * units.KB),
+		Key: func() string {
+			n++
+			return string(rune('a' + n - 1))
+		},
+		OnCreate: func(key string) { created = append(created, key) },
+	}
+	rng := rand.New(rand.NewSource(1))
+	var ops []Op
+	for {
+		op, ok := src.Next(rng)
+		if !ok {
+			break
+		}
+		if op.Kind != OpCreate {
+			t.Fatalf("load emitted %v", op.Kind)
+		}
+		src.Observe(op, nil)
+		ops = append(ops, op)
+	}
+	// 40 KB objects into a 100 KB budget: exactly 2 fit.
+	if len(ops) != 2 || n != 2 {
+		t.Fatalf("emitted %d ops, generated %d keys", len(ops), n)
+	}
+	if len(created) != 2 {
+		t.Fatalf("OnCreate saw %d commits", len(created))
+	}
+	// A failed op must not reach OnCreate.
+	src2 := &LoadSource{Dist: Constant{Size: units.KB}, Budget: NewByteBudget(units.MB),
+		Key: func() string { return "x" }, OnCreate: func(string) { t.Fatal("failed create reported") }}
+	op, _ := src2.Next(rng)
+	src2.Observe(op, errors.New("boom"))
+}
+
+// TestChurnSourceInterleavesReadsAfterSuccess pins the feedback
+// contract: reads are queued only after an observed successful write,
+// so a skipped write draws no read keys and the rng sequence matches
+// the classic churn loop exactly.
+func TestChurnSourceInterleavesReadsAfterSuccess(t *testing.T) {
+	age := 0.0
+	src := &ChurnSource{
+		Keys:          []string{"a", "b", "c"},
+		Dist:          Constant{Size: 8 * units.KB},
+		TargetAge:     1.0,
+		Age:           func() float64 { return age },
+		ReadsPerWrite: 2,
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	// First write succeeds: two reads must follow before the next write.
+	op1, ok := src.Next(rng)
+	if !ok || op1.Kind != OpReplace {
+		t.Fatalf("first op = %v", op1)
+	}
+	src.Observe(op1, nil)
+	for i := 0; i < 2; i++ {
+		op, ok := src.Next(rng)
+		if !ok || op.Kind != OpRead {
+			t.Fatalf("interleaved op %d = %v", i, op)
+		}
+		src.Observe(op, nil)
+	}
+
+	// Failed write: no reads queued, next op is a write again.
+	op2, ok := src.Next(rng)
+	if !ok || op2.Kind != OpReplace {
+		t.Fatalf("op after reads = %v", op2)
+	}
+	src.Observe(op2, errors.New("no space"))
+	op3, ok := src.Next(rng)
+	if !ok || op3.Kind != OpRead {
+		// The skipped write queued nothing, so this is the next WRITE.
+		if op3.Kind != OpReplace {
+			t.Fatalf("op after failed write = %v", op3)
+		}
+	}
+	if op3.Kind == OpRead {
+		t.Fatal("skipped write still queued interleaved reads")
+	}
+
+	// Reaching the target age ends the stream (after pending reads).
+	src.Observe(op3, nil)
+	age = 1.0
+	for i := 0; i < 2; i++ { // drain the two queued reads
+		if op, ok := src.Next(rng); !ok || op.Kind != OpRead {
+			t.Fatalf("pending read %d not drained: %v", i, op)
+		}
+	}
+	if _, ok := src.Next(rng); ok {
+		t.Fatal("source kept emitting past target age")
+	}
+}
+
+// TestReadSourceEmitsSamples pins the read-measurement Source: exactly
+// Samples reads over the keyspace, uniform when Popularity is nil.
+func TestReadSourceEmitsSamples(t *testing.T) {
+	src := &ReadSource{Keys: []string{"a", "b", "c"}, Samples: 10}
+	rng := rand.New(rand.NewSource(5))
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		op, ok := src.Next(rng)
+		if !ok || op.Kind != OpRead {
+			t.Fatalf("op %d = %v ok=%v", i, op, ok)
+		}
+		seen[op.Key]++
+	}
+	if _, ok := src.Next(rng); ok {
+		t.Fatal("source exceeded sample count")
+	}
+	if src.Err() != nil {
+		t.Fatalf("clean source reported %v", src.Err())
+	}
+}
+
+// badPopularity picks indexes outside the population.
+type badPopularity struct{}
+
+func (badPopularity) Name() string             { return "bad" }
+func (badPopularity) Pick(*rand.Rand, int) int { return 99 }
+
+// TestReadSourceBadPopularity pins the sticky-error contract: an
+// out-of-range popularity draw ends the stream with ErrBadDist
+// surfaced through Err.
+func TestReadSourceBadPopularity(t *testing.T) {
+	src := &ReadSource{Keys: []string{"a"}, Samples: 5, Popularity: badPopularity{}}
+	if _, ok := src.Next(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("bad popularity emitted an op")
+	}
+	if !errors.Is(src.Err(), ErrBadDist) {
+		t.Fatalf("Err = %v, want ErrBadDist", src.Err())
+	}
+}
+
+// TestZipfReadSource pins the named adapter: validated construction and
+// hot-set concentration.
+func TestZipfReadSource(t *testing.T) {
+	if _, err := NewZipfReadSource([]string{"a"}, 10, 0.5); !errors.Is(err, ErrBadDist) {
+		t.Fatalf("s=0.5 accepted: %v", err)
+	}
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = string(rune('a' + i%26))
+	}
+	src, err := NewZipfReadSource(keys, 200, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	first := 0
+	for i := 0; i < 200; i++ {
+		op, ok := src.Next(rng)
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if op.Key == keys[0] {
+			first++
+		}
+	}
+	if first < 40 {
+		t.Fatalf("zipf s=1.5 read rank 0 only %d/200 times", first)
+	}
+}
+
+// TestParseDist covers the fragbench -dist grammar.
+func TestParseDist(t *testing.T) {
+	d, err := ParseDist("uniform:5M-15M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := d.(Uniform)
+	if !ok || u.Min != 5*units.MB || u.Max != 15*units.MB {
+		t.Fatalf("parsed %+v", d)
+	}
+	d, err = ParseDist("constant:10M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := d.(Constant); !ok || c.Size != 10*units.MB {
+		t.Fatalf("parsed %+v", d)
+	}
+	d, err = ParseDist("512K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := d.(Constant); !ok || c.Size != 512*units.KB {
+		t.Fatalf("parsed %+v", d)
+	}
+	for _, bad := range []string{"", "uniform:", "uniform:5M", "uniform:15M-5M",
+		"zipfian:1M-2M", "constant:-4K", "constant:x"} {
+		if _, err := ParseDist(bad); !errors.Is(err, ErrBadDist) {
+			t.Errorf("ParseDist(%q) = %v, want ErrBadDist", bad, err)
+		}
+	}
+}

@@ -7,6 +7,13 @@
 // written or read, there is no correlation among objects, and object
 // sizes come from simple distributions (constant and uniform; the paper
 // found size distribution had no obvious effect on fragmentation).
+//
+// Since the operation-source redesign, every phase is expressed as a
+// Source of typed Ops executed by the shared Executor: the sequential
+// Runner, the ConcurrentRunner, and trace replay (package trace) are
+// thin arrangements of Sources over one engine, so any workload —
+// synthetic or recorded — can drive any blob.Store composition with one
+// set of accounting rules.
 package workload
 
 import (
@@ -31,7 +38,7 @@ var (
 	ErrNoSamples = errors.New("workload: read measurement needs samples > 0")
 
 	// ErrBadDist reports an invalid size- or popularity-distribution
-	// parameterization (NewZipf, NewZipfPopularity).
+	// parameterization (NewZipf, NewZipfPopularity, ParseDist).
 	ErrBadDist = errors.New("workload: invalid distribution")
 )
 
@@ -112,51 +119,52 @@ func (r Result) String() string {
 		r.Ops, units.FormatBytes(r.Bytes), r.Seconds, r.MBps, r.EndingAge)
 }
 
-// Runner drives one store through the workload phases.
+// Runner drives one store through the workload phases, single-stream.
+// Each phase is a Source executed by the shared Executor; the Runner
+// contributes the persistent per-workload state (one RNG spanning all
+// phases, the live-key list, fresh-key numbering).
 type Runner struct {
-	ctx     context.Context
-	tracker *core.AgeTracker
-	rng     *rand.Rand
-	dist    SizeDist
-	keys    []string
-	nextID  int64
+	exec   *Executor
+	rng    *rand.Rand
+	dist   SizeDist
+	keys   []string
+	nextID int64
 }
 
 // NewRunner creates a deterministic runner over store.
 func NewRunner(store blob.Store, dist SizeDist, seed int64) *Runner {
 	return &Runner{
-		ctx:     context.Background(),
-		tracker: core.NewAgeTracker(store),
-		rng:     rand.New(rand.NewSource(seed)),
-		dist:    dist,
+		exec: NewExecutor(store),
+		rng:  rand.New(rand.NewSource(seed)),
+		dist: dist,
 	}
 }
 
 // WithContext sets the context the runner's operations carry, for
 // cancelling a long workload phase from outside.
 func (r *Runner) WithContext(ctx context.Context) *Runner {
-	r.ctx = ctx
+	r.exec.WithContext(ctx)
 	return r
 }
 
+// Executor exposes the engine the runner's phases execute through.
+func (r *Runner) Executor() *Executor { return r.exec }
+
 // Tracker exposes the storage-age tracker.
-func (r *Runner) Tracker() *core.AgeTracker { return r.tracker }
+func (r *Runner) Tracker() *core.AgeTracker { return r.exec.Tracker() }
 
 // Repo returns the store under test.
-func (r *Runner) Repo() blob.Store { return r.tracker.Store() }
+func (r *Runner) Repo() blob.Store { return r.exec.Store() }
 
 // Keys returns the keys of live objects, in creation order.
 func (r *Runner) Keys() []string { return r.keys }
 
+// ctx returns the context the executor carries.
+func (r *Runner) ctx() context.Context { return r.exec.ctx }
+
 // clockWatch starts a stopwatch on the repository clock.
 func (r *Runner) clockWatch() vclock.Stopwatch {
 	return vclockWatch(r.Repo())
-}
-
-// sample draws a size, rounded up to 4 KB so file and database cluster
-// accounting line up.
-func (r *Runner) sample() int64 {
-	return units.RoundUp(r.dist.Sample(r.rng), 4*units.KB)
 }
 
 // BulkLoad puts fresh objects until live bytes reach occupancy (0..1) of
@@ -168,27 +176,25 @@ func (r *Runner) BulkLoad(occupancy float64) (Result, error) {
 
 // BulkLoadBytes puts fresh objects until live bytes reach targetBytes.
 func (r *Runner) BulkLoadBytes(targetBytes int64) (Result, error) {
-	w := r.clockWatch()
-	var res Result
-	for {
-		size := r.sample()
-		if r.Repo().LiveBytes()+size > targetBytes {
-			break
-		}
-		key := fmt.Sprintf("obj-%08d", r.nextID)
-		r.nextID++
-		if err := r.tracker.Put(r.ctx, key, size, nil); err != nil {
-			return res, fmt.Errorf("bulk load after %d objects: %w", res.Ops, err)
-		}
-		r.keys = append(r.keys, key)
-		res.Ops++
-		res.Bytes += size
+	budget := NewByteBudget(targetBytes)
+	budget.Reserve(r.Repo().LiveBytes())
+	src := &LoadSource{
+		Dist:   r.dist,
+		Budget: budget,
+		Key: func() string {
+			key := fmt.Sprintf("obj-%08d", r.nextID)
+			r.nextID++
+			return key
+		},
+		OnCreate: func(key string) { r.keys = append(r.keys, key) },
 	}
-	r.tracker.ResetBaseline()
-	res.Seconds = w.Seconds()
-	res.MBps = units.MBps(res.Bytes, res.Seconds)
+	rr, err := r.exec.Run([]Stream{{Source: src, RNG: r.rng}}, RunOptions{})
+	res := r.writeResult(rr)
+	if err != nil {
+		return res, fmt.Errorf("bulk load after %d objects: %w", res.Ops, err)
+	}
+	r.Tracker().ResetBaseline()
 	res.EndingAge = 0
-	res.ObjectsAlive = r.Repo().ObjectCount()
 	return res, nil
 }
 
@@ -212,42 +218,22 @@ type ChurnOptions struct {
 // measurement: "the average write throughput between the bulk load and
 // storage age two read measurements".
 func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
-	w := r.clockWatch()
-	var res Result
 	if len(r.keys) == 0 {
-		return res, fmt.Errorf("workload: churn before bulk load")
+		return Result{}, fmt.Errorf("workload: churn before bulk load")
 	}
-	consecutiveSkips := 0
-	for r.tracker.Age() < target {
-		key := r.keys[r.rng.Intn(len(r.keys))]
-		size := r.sample()
-		opWatch := r.clockWatch()
-		if err := r.tracker.Replace(r.ctx, key, size, nil); err != nil {
-			if opts.TolerateNoSpace && errors.Is(err, blob.ErrNoSpaceLeft) {
-				res.Skipped++
-				res.SkippedSeconds += opWatch.Seconds()
-				consecutiveSkips++
-				if consecutiveSkips > 4*len(r.keys) {
-					return res, fmt.Errorf("churn op %d: store full on every shard: %w", res.Ops, err)
-				}
-				continue
-			}
-			return res, fmt.Errorf("churn op %d: %w", res.Ops, err)
-		}
-		consecutiveSkips = 0
-		res.Ops++
-		res.Bytes += size
-		for i := 0; i < opts.ReadsPerWrite; i++ {
-			rk := r.keys[r.rng.Intn(len(r.keys))]
-			if _, _, err := blob.Get(r.ctx, r.Repo(), rk); err != nil {
-				return res, fmt.Errorf("interleaved read: %w", err)
-			}
-		}
+	src := &ChurnSource{
+		Keys:          r.keys,
+		Dist:          r.dist,
+		TargetAge:     target,
+		Age:           r.Tracker().Age,
+		ReadsPerWrite: opts.ReadsPerWrite,
 	}
-	res.Seconds = w.Seconds()
-	res.MBps = units.MBps(res.Bytes, res.Seconds-res.SkippedSeconds)
-	res.EndingAge = r.tracker.Age()
-	res.ObjectsAlive = r.Repo().ObjectCount()
+	rr, err := r.exec.Run([]Stream{{Source: src, RNG: r.rng, SkipLimit: 4 * len(r.keys)}},
+		RunOptions{TolerateNoSpace: opts.TolerateNoSpace, TrackSkipTime: true})
+	res := r.writeResult(rr)
+	if err != nil {
+		return res, fmt.Errorf("churn: %w", err)
+	}
 	return res, nil
 }
 
@@ -281,11 +267,11 @@ func (r *Runner) MeasureReadThroughput(samples int) (Result, error) {
 // (uniform when nil) and returns the payload throughput in MB/s of
 // virtual time.
 func (r *Runner) MeasureRead(samples int, opts ReadOptions) (Result, error) {
-	res, err := readPhase(r.ctx, r.Repo(), r.keys, samples, r.rng, opts)
+	res, err := readPhase(r.exec, r.keys, samples, r.rng, opts)
 	if err != nil {
 		return res, err
 	}
-	res.EndingAge = r.tracker.Age()
+	res.EndingAge = r.Tracker().Age()
 	return res, nil
 }
 
@@ -296,48 +282,49 @@ func (r *Runner) MeasureRead(samples int, opts ReadOptions) (Result, error) {
 // capacities) with an identical key sequence per seed.
 func ReadPhase(ctx context.Context, s blob.Store, keys []string, samples int,
 	seed int64, opts ReadOptions) (Result, error) {
-	return readPhase(ctx, s, keys, samples, rand.New(rand.NewSource(seed)), opts)
+	return readPhase(NewExecutor(s).WithContext(ctx), keys, samples,
+		rand.New(rand.NewSource(seed)), opts)
 }
 
-// readPhase is the shared read-measurement loop.
-func readPhase(ctx context.Context, s blob.Store, keys []string, samples int,
+// readPhase is the shared read-measurement phase: a ReadSource through
+// the executor.
+func readPhase(exec *Executor, keys []string, samples int,
 	rng *rand.Rand, opts ReadOptions) (Result, error) {
-	var res Result
 	if samples <= 0 {
-		return res, fmt.Errorf("%w: got %d", ErrNoSamples, samples)
+		return Result{}, fmt.Errorf("%w: got %d", ErrNoSamples, samples)
 	}
 	if len(keys) == 0 {
-		return res, fmt.Errorf("workload: measure before bulk load")
+		return Result{}, fmt.Errorf("workload: measure before bulk load")
 	}
-	pick := func() int { return rng.Intn(len(keys)) }
-	if pop := opts.Popularity; pop != nil {
-		pick = func() int { return pop.Pick(rng, len(keys)) }
-		// A popularity exposing a phase-bound sampler (ZipfPopularity
-		// does) sets it up once instead of once per draw.
-		if pp, ok := pop.(interface {
-			Picker(*rand.Rand, int) func() int
-		}); ok {
-			pick = pp.Picker(rng, len(keys))
-		}
+	src := &ReadSource{Keys: keys, Samples: samples, Popularity: opts.Popularity}
+	rr, err := exec.Run([]Stream{{Source: src, RNG: rng}}, RunOptions{})
+	total := rr.Total()
+	res := Result{
+		Ops:          total.Ops(),
+		Bytes:        total.BytesRead,
+		Seconds:      rr.Seconds,
+		MBps:         units.MBps(total.BytesRead, rr.Seconds),
+		ObjectsAlive: exec.Store().ObjectCount(),
 	}
-	w := vclock.StartWatch(s.Clock())
-	for i := 0; i < samples; i++ {
-		idx := pick()
-		if opts.Popularity != nil && (idx < 0 || idx >= len(keys)) {
-			return res, fmt.Errorf("%w: popularity %s picked %d of %d objects",
-				ErrBadDist, opts.Popularity.Name(), idx, len(keys))
-		}
-		n, _, err := blob.Get(ctx, s, keys[idx])
-		if err != nil {
-			return res, err
-		}
-		res.Ops++
-		res.Bytes += n
+	return res, err
+}
+
+// writeResult converts a single-stream write run into the phase Result
+// the classic Runner reported: Bytes and MBps cover committed payload,
+// with skipped-op time excluded from the throughput mean.
+func (r *Runner) writeResult(rr RunResult) Result {
+	total := rr.Total()
+	bytes := total.BytesWritten
+	return Result{
+		Ops:            total.Ops(),
+		Skipped:        total.Skipped,
+		Bytes:          bytes,
+		Seconds:        rr.Seconds,
+		SkippedSeconds: total.SkippedSeconds,
+		MBps:           units.MBps(bytes, rr.Seconds-total.SkippedSeconds),
+		EndingAge:      r.Tracker().Age(),
+		ObjectsAlive:   r.Repo().ObjectCount(),
 	}
-	res.Seconds = w.Seconds()
-	res.MBps = units.MBps(res.Bytes, res.Seconds)
-	res.ObjectsAlive = s.ObjectCount()
-	return res, nil
 }
 
 // DeleteGroup deletes a contiguous group of n objects starting at a
@@ -356,11 +343,11 @@ func (r *Runner) DeleteGroup(n int) (Result, error) {
 	start := r.rng.Intn(len(r.keys) - n + 1)
 	for i := 0; i < n; i++ {
 		key := r.keys[start+i]
-		info, err := r.Repo().Stat(r.ctx, key)
+		info, err := r.Repo().Stat(r.ctx(), key)
 		if err != nil {
 			return res, err
 		}
-		if err := r.tracker.Delete(r.ctx, key); err != nil {
+		if err := r.Tracker().Delete(r.ctx(), key); err != nil {
 			return res, err
 		}
 		res.Ops++
@@ -369,7 +356,7 @@ func (r *Runner) DeleteGroup(n int) (Result, error) {
 	r.keys = append(r.keys[:start], r.keys[start+n:]...)
 	res.Seconds = w.Seconds()
 	res.MBps = units.MBps(res.Bytes, res.Seconds)
-	res.EndingAge = r.tracker.Age()
+	res.EndingAge = r.Tracker().Age()
 	res.ObjectsAlive = r.Repo().ObjectCount()
 	return res, nil
 }
