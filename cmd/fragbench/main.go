@@ -17,6 +17,8 @@
 //	fragbench tracereplay          # record a churn run, replay it at k=1,4,16
 //	fragbench -trace ops.log -streams 1,8 tracereplay  # replay a recorded log
 //	fragbench -dist uniform:5M-15M interleave  # uniform object sizes
+//	fragbench compact              # online compactor duty-cycle sweep
+//	fragbench -duty 0,0.25,1 compact  # ... with an explicit duty sweep
 //	fragbench -quick all           # every experiment at miniature scale
 //	fragbench -csv fig1            # CSV output for plotting
 package main
@@ -29,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/compact"
 	"repro/internal/harness"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -48,6 +51,7 @@ func main() {
 		dist    = flag.String("dist", "", "object-size distribution for the interleave/tracereplay sweeps: constant:SIZE or uniform:MIN-MAX (default constant, ~400 objects/volume)")
 		tracef  = flag.String("trace", "", "recorded trace file for the tracereplay experiment (default: record a synthetic churn run)")
 		caches  = flag.String("cache", "", "comma-separated cache capacities for the readcache sweep, 0 = no cache (default 0,64M,256M)")
+		duty    = flag.String("duty", "", "comma-separated compactor duty cycles in [0,1] for the compact sweep, 0 = off (default 0,0.1,0.5)")
 		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose = flag.Bool("v", false, "log progress to stderr")
@@ -123,6 +127,14 @@ func main() {
 			}
 			cfg.CacheBytes = append(cfg.CacheBytes, n)
 		}
+	}
+	if *duty != "" {
+		ds, err := compact.ParseDutyList(*duty)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fragbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.DutyCycles = ds
 	}
 	if *dist != "" {
 		d, err := workload.ParseDist(*dist)

@@ -1,0 +1,85 @@
+package cache_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// opaque hides every capability beyond the plain blob.Store methods.
+type opaque struct{ blob.Store }
+
+func cacheOverOpaque(inner blob.Store) (*cache.Store, error) {
+	return cache.New(opaque{inner}, cache.WithCapacity(units.MB))
+}
+
+// TestCompactionInvalidatesPinnedHitReader is the ABA regression test:
+// a reader pinned to a cache hit must observe a compactor rewrite of
+// its object. Without the version bump in Store.CompactObject the hit
+// reader never touches the store, so it would keep serving the
+// pre-relocation bytes forever.
+func TestCompactionInvalidatesPinnedHitReader(t *testing.T) {
+	ctx := context.Background()
+	c := newCachedFS(t, 64*units.MB)
+	data := make([]byte, units.MB)
+	for i := range data {
+		data[i] = byte(i % 127)
+	}
+	if err := blob.Put(ctx, c, "a", int64(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache, then fragment the object so compaction will move it.
+	if _, _, err := blob.Get(ctx, c, "a"); err != nil {
+		t.Fatal(err)
+	}
+	c.Inner().(*core.FileStore).Volume().ShatterFiles(4)
+
+	// Pin a reader across the compaction. It is served from memory — the
+	// store never sees it — which is exactly the ABA window.
+	r, err := c.Open(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadAt(0, units.KB); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := c.CompactObject(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("compaction moved %d bytes, want %d", n, len(data))
+	}
+
+	if _, err := r.ReadAt(0, units.KB); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("pinned hit reader survived relocation: err = %v, want ErrNotFound", err)
+	}
+	// A fresh read sees the relocated object, byte for byte.
+	if _, got, err := blob.Get(ctx, c, "a"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-compaction read: %v", err)
+	}
+}
+
+// TestCompactionUnsupportedInner pins the typed error for a wrapped
+// store without the rewrite capability.
+func TestCompactionUnsupportedInner(t *testing.T) {
+	c := newCachedFS(t, units.MB)
+	wrapped, err := cacheOverOpaque(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.CompactObject(context.Background(), "a"); !errors.Is(err, errors.ErrUnsupported) {
+		t.Fatalf("CompactObject over opaque inner = %v, want errors.ErrUnsupported", err)
+	}
+	if _, err := wrapped.PackObjects(context.Background(), []string{"a", "b"}); !errors.Is(err, errors.ErrUnsupported) {
+		t.Fatalf("PackObjects over opaque inner = %v, want errors.ErrUnsupported", err)
+	}
+}

@@ -46,6 +46,7 @@ type FileStore struct {
 	liveBytes int64
 	inflight  map[string]bool // keys with an uncommitted writer
 	crashes   map[string]bool // keys armed to crash at the next commit
+	packCrash bool            // next PackObjects crashes mid-pack
 }
 
 // NewFileStore builds a file-backed store on a fresh simulated drive
@@ -137,8 +138,9 @@ func (s *FileStore) ArmCommitCrash(key string) {
 }
 
 // Recover models post-crash restart: orphaned safe-write temp files are
-// swept, the volume log is flushed, and all writer claims are released
-// (a crash kills every in-flight stream). It returns the number of temp
+// swept, orphan packs from a crash mid-pack have their clusters freed,
+// the volume log is flushed, and all writer claims are released (a
+// crash kills every in-flight stream). It returns the number of temp
 // files removed.
 func (s *FileStore) Recover() int {
 	s.mu.Lock()
@@ -146,6 +148,7 @@ func (s *FileStore) Recover() int {
 	n := s.vol.Recover()
 	clear(s.inflight)
 	clear(s.crashes)
+	s.packCrash = false
 	return n
 }
 

@@ -25,11 +25,23 @@ type DefragReport struct {
 	BytesMoved      int64
 }
 
-// Defragment performs a partial online defragmentation pass: the most
-// fragmented files are rewritten into contiguous space, most-fragmented
-// first, until budgetBytes of data has been moved (budgetBytes <= 0 means
-// no limit). Files that cannot be placed contiguously are left in place.
+// Defragment performs a partial offline defragmentation pass.
+//
+// Deprecated: Defragment is the retired stop-the-world entry point. It
+// is now a thin wrapper over CompactPass, the same rewrite machinery
+// the online compactor (internal/compact) drives incrementally during
+// live traffic; new code should run a Compactor instead.
 func (v *Volume) Defragment(budgetBytes int64) DefragReport {
+	return v.CompactPass(budgetBytes)
+}
+
+// CompactPass rewrites the worst-fragmented files into contiguous
+// space, most-fragmented first, until budgetBytes of data has been
+// moved (budgetBytes <= 0 means no limit). Files that cannot be placed
+// contiguously are left in place. Every move charges a full read of the
+// old layout and write of the new on the shared virtual clock — the
+// §3.4 cost the compactor's duty cycle meters out.
+func (v *Volume) CompactPass(budgetBytes int64) DefragReport {
 	var rep DefragReport
 	// Snapshot candidates; moving files mutates v.files' contents but not
 	// the key set.
@@ -65,11 +77,36 @@ func (v *Volume) Defragment(budgetBytes int64) DefragReport {
 	return rep
 }
 
+// CompactFile rewrites a single file into contiguous space, returning
+// the bytes moved. It is the per-object entry point the online
+// compactor drives: already-contiguous, packed, or open files are left
+// alone (moved == 0). When the allocator cannot produce a contiguous
+// run but freed space sits quarantined in the log, the log is flushed
+// and the move retried once.
+func (v *Volume) CompactFile(name string) (moved int64, ok bool) {
+	f, exists := v.files[name]
+	if !exists || f.pack != nil || f.open || f.Fragments() <= 1 {
+		return 0, false
+	}
+	if !v.moveContiguous(f) {
+		if v.rc.PendingClusters() == 0 {
+			return 0, false
+		}
+		v.FlushLog()
+		if !v.moveContiguous(f) {
+			return 0, false
+		}
+	}
+	return f.size, true
+}
+
 // moveContiguous rewrites f into a single run if the allocator can provide
-// one. It charges a full read of the old layout and write of the new.
+// one. It charges a full read of the old layout and write of the new, and
+// re-publishes the file as a fresh version (new *File, new tag) so handles
+// pinned to the old location fail instead of reading relocated clusters.
 func (v *Volume) moveContiguous(f *File) bool {
 	need := f.allocated
-	if need == 0 {
+	if need == 0 || f.pack != nil {
 		return false
 	}
 	runs, err := v.rc.Alloc(need)
@@ -84,15 +121,20 @@ func (v *Volume) moveContiguous(f *File) bool {
 	for _, r := range f.runs {
 		v.drive.ReadRun(r)
 	}
-	v.drive.WriteRun(runs[0], f.tag, 0, nil)
+	tag := v.nextTag
+	v.nextTag++
+	v.drive.WriteRun(runs[0], tag, 0, nil)
 	for _, r := range f.runs {
 		v.rc.Free(r)
 		v.drive.ClearOwner(r)
 	}
-	f.runs = f.runs[:0]
+	nf := &File{vol: v, name: f.name, tag: tag, size: f.size, data: f.data}
+	nf.appendRuns(runs)
+	v.files[f.name] = nf
+	f.runs = nil
 	f.allocated = 0
-	f.appendRuns(runs)
-	v.metadataWrite(f.tag)
+	f.data = nil
+	v.metadataWrite(tag)
 	v.noteMetadataOp()
 	return true
 }

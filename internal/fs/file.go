@@ -11,7 +11,8 @@ import (
 
 // File is a named stream of bytes stored as a list of cluster runs, like
 // an NTFS non-resident attribute. A File handle stays valid until the file
-// is deleted or replaced.
+// is deleted, replaced, or relocated (compacted or packed) — relocation
+// publishes a fresh File so stale handles cannot read moved clusters.
 type File struct {
 	vol  *Volume
 	name string
@@ -35,6 +36,11 @@ type File struct {
 	// delayed allocation.
 	data        []byte
 	delayedData []byte
+
+	// Packed files carry no runs of their own: their bytes live at
+	// [packOff, packOff+size) inside pack's shared data region.
+	pack    *Pack
+	packOff int64
 }
 
 // Name returns the file's name.
@@ -43,8 +49,12 @@ func (f *File) Name() string { return f.name }
 // Size returns the logical file size in bytes, including buffered bytes.
 func (f *File) Size() int64 { return f.size + f.buffered }
 
-// Runs returns a copy of the file's extent list.
+// Runs returns a copy of the file's extent list. For a packed file the
+// list is the slice of the pack's data region covering its bytes.
 func (f *File) Runs() []extent.Run {
+	if f.pack != nil {
+		return f.pack.runsOf(f.packOff, f.size)
+	}
 	out := make([]extent.Run, len(f.runs))
 	copy(out, f.runs)
 	return out
@@ -52,7 +62,12 @@ func (f *File) Runs() []extent.Run {
 
 // Fragments returns the number of discontiguous extents storing the file.
 // A contiguous file has 1 fragment (paper, Figure 2 caption).
-func (f *File) Fragments() int { return len(f.runs) }
+func (f *File) Fragments() int {
+	if f.pack != nil {
+		return len(f.pack.runsOf(f.packOff, f.size))
+	}
+	return len(f.runs)
+}
 
 // Tag returns the owner tag the file's clusters carry on disk.
 func (f *File) Tag() uint32 { return f.tag }
@@ -222,6 +237,9 @@ func (v *Volume) Lookup(name string) (*File, bool) {
 // core cost mechanism. When the drive retains payloads the file contents
 // are returned; otherwise nil.
 func (f *File) ReadAll() []byte {
+	if f.pack != nil {
+		f.pack.readRange(f.packOff, f.size)
+	}
 	for _, r := range f.runs {
 		f.vol.drive.ReadRun(r)
 	}
@@ -243,6 +261,15 @@ func (f *File) ReadAt(off, length int64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: read [%d,+%d) beyond size %d of %s", blob.ErrOutOfRange, off, length, f.size, f.name)
 	}
 	if length == 0 {
+		return nil, nil
+	}
+	if f.pack != nil {
+		f.pack.readRange(f.packOff+off, length)
+		if f.vol.dataMode() && off+length <= int64(len(f.data)) {
+			out := make([]byte, length)
+			copy(out, f.data[off:off+length])
+			return out, nil
+		}
 		return nil, nil
 	}
 	cs := f.vol.ClusterSize()
@@ -275,6 +302,11 @@ func (v *Volume) Delete(name string) error {
 		return fmt.Errorf("%w: %s", ErrNotExist, name)
 	}
 	v.drive.ChargeCPU(v.cfg.DeleteCPUUs)
+	if f.pack != nil {
+		// Packed members share clusters; the pack frees them only when
+		// its last member dies.
+		f.pack.remove(f)
+	}
 	for _, r := range f.runs {
 		v.rc.Free(r)
 		v.drive.ClearOwner(r)
@@ -306,6 +338,10 @@ func (v *Volume) Rename(oldName, newName string) error {
 		}
 	}
 	delete(v.files, oldName)
+	if f.pack != nil {
+		delete(f.pack.members, oldName)
+		f.pack.members[newName] = f
+	}
 	f.name = newName
 	v.files[newName] = f
 	v.metadataWrite(f.tag)

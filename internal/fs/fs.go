@@ -101,6 +101,11 @@ type Volume struct {
 	files   map[string]*File
 	nextTag uint32
 
+	// packs holds the live pack extents by tag; orphanPacks holds packs
+	// written but never committed (crash mid-pack), swept by Recover.
+	packs       map[uint32]*Pack
+	orphanPacks []*Pack
+
 	metaStart int64 // first cluster of the MFT zone
 	metaLen   int64 // clusters in the MFT zone
 
@@ -165,6 +170,7 @@ func Format(drive *disk.Drive, cfg Config) *Volume {
 		drive:   drive,
 		rc:      alloc.NewRunCache(clusters, cfg.BandFrac),
 		files:   make(map[string]*File),
+		packs:   make(map[uint32]*Pack),
 		nextTag: 1,
 	}
 	// Reserve the MFT zone. On an empty volume this carves the lowest

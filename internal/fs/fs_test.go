@@ -376,6 +376,14 @@ func TestDefragment(t *testing.T) {
 	if rep.FilesMoved == 0 {
 		t.Fatal("defragmenter moved nothing")
 	}
+	// Relocation publishes a fresh version; the old handle is dead.
+	if g.Fragments() != 0 {
+		t.Fatalf("stale handle still maps %d fragments", g.Fragments())
+	}
+	g, ok := v.Lookup("frag")
+	if !ok {
+		t.Fatal("frag missing after defragment")
+	}
 	if g.Fragments() != 1 {
 		t.Fatalf("file still has %d fragments", g.Fragments())
 	}

@@ -130,9 +130,10 @@ func (v *Volume) SafeWrite(name string, size int64, data []byte, opts SafeWriteO
 	return nil
 }
 
-// Recover cleans up after a crash: orphaned temp files are deleted and the
-// log is flushed, mirroring NTFS log replay at mount. It returns the
-// number of temp files removed.
+// Recover cleans up after a crash: orphaned temp files are deleted,
+// orphan packs (written but never committed to any member) have their
+// clusters freed, and the log is flushed, mirroring NTFS log replay at
+// mount. It returns the number of temp files removed.
 func (v *Volume) Recover() int {
 	var orphans []string
 	for name := range v.files {
@@ -143,6 +144,10 @@ func (v *Volume) Recover() int {
 	for _, name := range orphans {
 		_ = v.Delete(name)
 	}
+	for _, p := range v.orphanPacks {
+		p.freeOrphan()
+	}
+	v.orphanPacks = nil
 	v.FlushLog()
 	return len(orphans)
 }

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/blob"
+	"repro/internal/compact"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// defaultDutyCycles is the sweep of the "compact" experiment: off, a
+// light background trickle, and an aggressive half-time compactor.
+var defaultDutyCycles = []float64{0, 0.1, 0.5}
+
+// dutyCycles returns the configured sweep points (Config.DutyCycles or
+// the 0/0.1/0.5 default).
+func (c Config) dutyCycles() []float64 {
+	if len(c.DutyCycles) > 0 {
+		return c.DutyCycles
+	}
+	return defaultDutyCycles
+}
+
+// compactionSteps is the number of churn increments between the aging
+// point and MaxAge; each increment ends in an idle vclock window where
+// the compactor may catch up to its duty-cycle share.
+const compactionSteps = 8
+
+// CompactionSweep answers the question §3.4 raises but never measures:
+// does online defragmentation pay for itself? Each backend is aged to
+// MaxAge/2 so fragmentation is established, then churned to MaxAge with
+// an online compactor active at each duty cycle (0 = off). The churn
+// runs in increments: during each one the compactor rides along as a
+// background worker racing the live stream, and the idle window at the
+// increment boundary lets it catch up — synchronously but still duty
+// gated — to its share of the increment's virtual time. Rewrites charge
+// full read+write disk cost on the shared virtual clock, and the
+// measured span covers churn and catch-up alike, so the MB/s column
+// already contains the compaction tax that the fragments/object column
+// shows the benefit of.
+func CompactionSweep(c Config) ([]*stats.Table, error) {
+	duties := c.dutyCycles()
+	objSize := units.RoundUp(c.VolumeBytes/400, 64*units.KB)
+	dist := workload.Constant{Size: objSize}
+	preAge := c.MaxAge / 2
+	endAge := c.MaxAge
+
+	frags := stats.NewTable(
+		fmt.Sprintf("Online compaction: fragments/object at age %.1f vs duty cycle (%s objects)",
+			endAge, units.FormatBytes(objSize)),
+		"Duty cycle", "Fragments/object")
+	tput := stats.NewTable("Online compaction: churn throughput vs duty cycle (rewrite tax included)",
+		"Duty cycle", "MB/sec")
+
+	for _, kind := range []string{"database", "filesystem"} {
+		name := "Database"
+		if kind == "filesystem" {
+			name = "Filesystem"
+		}
+		fragSeries := frags.AddSeries(name)
+		tputSeries := tput.AddSeries(name)
+
+		for _, duty := range duties {
+			// Each arm rebuilds the same seeded layout, so the only
+			// difference between duty points is the compactor.
+			var store blob.Store
+			var err error
+			switch kind {
+			case "database":
+				store, err = core.NewDBStore(vclock.New(), c.storeOptions(64*units.KB)...)
+			case "filesystem":
+				store, err = core.NewFileStore(vclock.New(), c.storeOptions(64*units.KB)...)
+			}
+			if err != nil {
+				return nil, err
+			}
+			runner := workload.NewRunner(store, dist, c.Seed)
+			if _, err := runner.BulkLoad(c.Occupancy); err != nil {
+				return nil, fmt.Errorf("compact %s load: %w", kind, err)
+			}
+			if _, err := runner.ChurnToAge(preAge, workload.ChurnOptions{}); err != nil {
+				return nil, fmt.Errorf("compact %s pre-churn: %w", kind, err)
+			}
+			before := meanFrags(store)
+
+			var fleet *compact.Fleet
+			var bg workload.Background
+			if duty > 0 {
+				fleet, err = compact.NewFleet(store, compact.Config{DutyCycle: duty})
+				if err != nil {
+					return nil, fmt.Errorf("compact %s duty %g: %w", kind, duty, err)
+				}
+				bg = fleet
+			}
+			ctx := context.Background()
+			w := vclock.StartWatch(store.Clock())
+			var churnBytes int64
+			for i := 1; i <= compactionSteps; i++ {
+				age := preAge + (endAge-preAge)*float64(i)/compactionSteps
+				res, err := runner.ChurnToAge(age, workload.ChurnOptions{Background: bg})
+				if err != nil {
+					return nil, fmt.Errorf("compact %s churn to %.2f: %w", kind, age, err)
+				}
+				churnBytes += res.Bytes
+				if fleet != nil {
+					fleet.CatchUp(ctx)
+				}
+			}
+			mbps := units.MBps(churnBytes, w.Seconds())
+			f := meanFrags(store)
+			fragSeries.Add(duty, f)
+			tputSeries.Add(duty, mbps)
+			if fleet != nil {
+				st := fleet.Stats()
+				frags.Note("%s duty %.2f: %d rewrites (%s), %.1f virtual s compactor-busy; frags %.2f → %.2f",
+					name, duty, st.Rewrites, units.FormatBytes(st.RewriteBytes), st.BusySeconds, before, f)
+				c.logf("compact: %s duty %.2f: %v (frags %.2f → %.2f, churn %.2f MB/s)",
+					kind, duty, st, before, f, mbps)
+			} else {
+				c.logf("compact: %s compactor off: frags %.2f → %.2f, churn %.2f MB/s",
+					kind, before, f, mbps)
+			}
+			blob.CloseStore(store)
+		}
+	}
+	tput.Note("Duty cycle bounds the compactor's share of virtual time; its rewrites charge full read+write cost on the shared clock.")
+	return []*stats.Table{frags, tput}, nil
+}

@@ -61,6 +61,10 @@ type Config struct {
 	// TracePath replays a recorded trace file in the "tracereplay"
 	// experiment instead of recording a synthetic churn run first.
 	TracePath string
+	// DutyCycles is the compactor duty-cycle sweep of the "compact"
+	// experiment, each in [0,1] (nil takes 0, 0.1, 0.5). Set from the
+	// fragbench -duty flag.
+	DutyCycles []float64
 	// NoOwnerMap disables the disk owner map (large-volume runs).
 	NoOwnerMap bool
 	// Log receives progress lines; nil silences them.
@@ -133,6 +137,7 @@ var Experiments = []Experiment{
 	{ID: "interleave", Title: "Concurrent writer streams with group commit", Paper: "§6 extension, §3.1", Run: InterleaveSweep},
 	{ID: "readcache", Title: "Read-path cache capacity sweep with Zipf reads", Paper: "§5 extension, read path", Run: ReadCacheSweep},
 	{ID: "tracereplay", Title: "Recorded-trace replay across k concurrent writer streams", Paper: "§6 + §5.4 trace-based generation", Run: TraceReplaySweep},
+	{ID: "compact", Title: "Online background compaction duty-cycle sweep", Paper: "§3.4 (the unmeasured tradeoff)", Run: CompactionSweep},
 }
 
 // ByID returns the experiment with the given ID.

@@ -45,8 +45,8 @@ func findSeries(t *testing.T, tb *stats.Table, name string) *stats.Series {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 16 {
-		t.Fatalf("expected 16 experiments, have %d", len(Experiments))
+	if len(Experiments) != 17 {
+		t.Fatalf("expected 17 experiments, have %d", len(Experiments))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments {

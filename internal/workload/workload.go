@@ -211,6 +211,11 @@ type ChurnOptions struct {
 	// fleet as a whole has room. The phase still fails if every key in
 	// a row is refused, so a genuinely full store cannot spin forever.
 	TolerateNoSpace bool
+
+	// Background, when non-nil, runs a maintenance worker (the online
+	// compactor) concurrently with the churn stream for the duration of
+	// the phase.
+	Background Background
 }
 
 // ChurnToAge safe-writes uniformly chosen objects until storage age
@@ -228,8 +233,8 @@ func (r *Runner) ChurnToAge(target float64, opts ChurnOptions) (Result, error) {
 		Age:           r.Tracker().Age,
 		ReadsPerWrite: opts.ReadsPerWrite,
 	}
-	rr, err := r.exec.Run([]Stream{{Source: src, RNG: r.rng, SkipLimit: 4 * len(r.keys)}},
-		RunOptions{TolerateNoSpace: opts.TolerateNoSpace, TrackSkipTime: true})
+	rr, err := r.exec.RunWithBackground([]Stream{{Source: src, RNG: r.rng, SkipLimit: 4 * len(r.keys)}},
+		RunOptions{TolerateNoSpace: opts.TolerateNoSpace, TrackSkipTime: true}, opts.Background)
 	res := r.writeResult(rr)
 	if err != nil {
 		return res, fmt.Errorf("churn: %w", err)
