@@ -21,6 +21,9 @@
 //	fragbench -duty 0,0.25,1 compact  # ... with an explicit duty sweep
 //	fragbench -quick all           # every experiment at miniature scale
 //	fragbench -csv fig1            # CSV output for plotting
+//	fragbench -obs interleave      # + per-layer virtual-time latency tables
+//	fragbench -report out.json readcache   # + machine-readable JSON run report
+//	fragbench -optrace trace.json compact  # + Chrome trace of retained ops
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 
 	"repro/internal/compact"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -55,6 +59,9 @@ func main() {
 		quick   = flag.Bool("quick", false, "miniature scale for a fast smoke run")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		verbose = flag.Bool("v", false, "log progress to stderr")
+		obsOn   = flag.Bool("obs", false, "instrument store chains: per-op virtual-time latency tables for the interleave/readcache/compact experiments")
+		report  = flag.String("report", "", "write a machine-readable JSON run report (tables + per-phase latency quantiles) to this file; implies -obs")
+		optrace = flag.String("optrace", "", "write retained per-op traces to this file — Chrome trace-event JSON (chrome://tracing / Perfetto), or JSONL when the name ends in .jsonl; implies -obs")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fragbench [flags] <experiment-id>... | all\n\nflags:\n")
@@ -150,6 +157,39 @@ func main() {
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
+	cfg.Obs = *obsOn
+	if *report != "" {
+		cfg.Report = obs.NewRunReport()
+		cfg.Report.Config = map[string]any{
+			"volume_bytes": cfg.VolumeBytes,
+			"occupancy":    cfg.Occupancy,
+			"max_age":      cfg.MaxAge,
+			"age_step":     cfg.AgeStep,
+			"read_samples": cfg.ReadSamples,
+			"seed":         cfg.Seed,
+			"quick":        *quick,
+		}
+	}
+	if *optrace != "" {
+		cfg.Tracer = obs.NewTracer(0)
+	}
+	// writeOutputs flushes the run report and op trace; called on the
+	// normal exit path and before bailing on a failed experiment, so a
+	// partial run still leaves its artifacts behind.
+	writeOutputs := func() {
+		if cfg.Report != nil {
+			if err := writeReport(*report, cfg.Report); err != nil {
+				fmt.Fprintf(os.Stderr, "fragbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if cfg.Tracer != nil {
+			if err := writeTrace(*optrace, cfg.Tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "fragbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	ids := args
 	if len(args) == 1 && args[0] == "all" {
@@ -163,8 +203,18 @@ func main() {
 		}
 		start := time.Now()
 		tables, err := exp.Run(cfg)
+		if cfg.Report != nil {
+			sec := cfg.Report.Section(id)
+			sec.Title = exp.Title
+			sec.Paper = exp.Paper
+			sec.AddTables(tables)
+			if err != nil {
+				sec.Error = err.Error()
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fragbench: %s: %v\n", id, err)
+			writeOutputs()
 			os.Exit(1)
 		}
 		for _, t := range tables {
@@ -178,4 +228,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	writeOutputs()
+}
+
+// writeReport writes the JSON run report to path.
+func writeReport(path string, r *obs.RunReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("report: %w", err)
+	}
+	return f.Close()
+}
+
+// writeTrace writes the retained op traces to path: JSONL when the
+// name ends in .jsonl, Chrome trace-event JSON otherwise.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("optrace: %w", err)
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("optrace: %w", err)
+	}
+	return f.Close()
 }

@@ -3,6 +3,8 @@ package blob
 import (
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // This file implements the asynchronous group-commit pipeline behind
@@ -37,6 +39,24 @@ type pendingCommit struct {
 	apply func() error
 	// done receives the writer's own commit error exactly once.
 	done chan error
+	// enqueuedNs is the virtual enqueue time, stamped only when an
+	// observer is installed.
+	enqueuedNs int64
+}
+
+// CommitObserver receives the pipeline's latency split: how long each
+// commit waited in the queue before its batch began, and how long each
+// batch's one group force took. Both in virtual nanoseconds. The
+// observability layer (internal/obs) implements this; living here keeps
+// blob free of an obs dependency. Implementations must be safe for
+// calls from the batcher goroutine.
+type CommitObserver interface {
+	// ObserveQueueWait records one commit's virtual ns between enqueue
+	// and the start of its batch.
+	ObserveQueueWait(ns int64)
+	// ObserveForce records one batch's group-force virtual ns and the
+	// number of commits it covered.
+	ObserveForce(ns int64, batch int)
 }
 
 // CommitStats counts pipeline activity for one store.
@@ -73,6 +93,11 @@ type GroupCommitter struct {
 	stop    chan struct{} // closed by Close to halt the batcher
 	stopped chan struct{} // closed by the batcher once drained
 
+	// observer and obsClock are set once via SetObserver before the
+	// store serves traffic; nil observer records nothing.
+	observer CommitObserver
+	obsClock *vclock.Clock
+
 	// closeMu orders enqueues against Close: Do sends while holding the
 	// read side, Close flips closed under the write side before halting
 	// the batcher, so a commit is either enqueued before the batcher's
@@ -106,6 +131,16 @@ func NewGroupCommitter(maxBatch int, maxDelay time.Duration, begin, end func()) 
 // Batching reports whether commits are coalesced asynchronously.
 func (gc *GroupCommitter) Batching() bool { return gc.queue != nil }
 
+// SetObserver installs a pipeline latency observer timed on the given
+// virtual clock. Call before the store serves traffic (the store
+// constructors do); not synchronized against in-flight commits. The
+// synchronous path (Batching false) has no queue and no group force,
+// so it reports nothing.
+func (gc *GroupCommitter) SetObserver(clock *vclock.Clock, o CommitObserver) {
+	gc.observer = o
+	gc.obsClock = clock
+}
+
 // Do routes one writer's commit through the pipeline and returns that
 // writer's own error. It blocks until the commit is durable (its batch's
 // group force has been issued), so Commit keeps its synchronous
@@ -132,6 +167,9 @@ func (gc *GroupCommitter) Do(apply func() error) error {
 		return err
 	}
 	pc := &pendingCommit{apply: apply, done: make(chan error, 1)}
+	if gc.observer != nil {
+		pc.enqueuedNs = gc.obsClock.Now()
+	}
 	// The send may block on a full queue, but only while the batcher is
 	// alive and draining: Close cannot proceed past closeMu until this
 	// read lock is released.
@@ -262,12 +300,25 @@ func (gc *GroupCommitter) gather(first *pendingCommit, timer *time.Timer) []*pen
 // writer's failure (no space, metadata full) never poisons the rest of
 // the batch.
 func (gc *GroupCommitter) flush(batch []*pendingCommit) {
+	if gc.observer != nil {
+		now := gc.obsClock.Now()
+		for _, pc := range batch {
+			gc.observer.ObserveQueueWait(now - pc.enqueuedNs)
+		}
+	}
 	gc.begin()
 	errs := make([]error, len(batch))
 	for i, pc := range batch {
 		errs[i] = pc.apply()
 	}
+	var forceStart int64
+	if gc.observer != nil {
+		forceStart = gc.obsClock.Now()
+	}
 	gc.end()
+	if gc.observer != nil {
+		gc.observer.ObserveForce(gc.obsClock.Now()-forceStart, len(batch))
+	}
 	gc.record(len(batch))
 	for i, pc := range batch {
 		pc.done <- errs[i]

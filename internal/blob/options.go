@@ -76,6 +76,11 @@ type Options struct {
 	// open waiting for more commits; 0 coalesces only commits already
 	// queued. Set via WithGroupCommit.
 	GroupCommitDelay time.Duration
+
+	// CommitObserver receives the group-commit pipeline's queue-wait and
+	// group-force timings (virtual ns); nil records nothing. Set via
+	// WithCommitObserver.
+	CommitObserver CommitObserver
 }
 
 // Validate reports the backend-independent misconfigurations as
@@ -188,4 +193,12 @@ func WithGroupCommit(maxBatch int, maxDelay time.Duration) Option {
 		o.GroupCommitBatch = maxBatch
 		o.GroupCommitDelay = maxDelay
 	}
+}
+
+// WithCommitObserver installs a group-commit pipeline latency observer
+// (obs.NewCommitObserver builds one recording into a registry). Only
+// meaningful together with WithGroupCommit; the synchronous commit
+// path has no queue or group force to report.
+func WithCommitObserver(o CommitObserver) Option {
+	return func(opts *Options) { opts.CommitObserver = o }
 }

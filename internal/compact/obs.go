@@ -1,0 +1,56 @@
+package compact
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// PublishMetrics writes the fleet's aggregate work into reg under the
+// given prefix ("compact" → "compact.rewrites", ...): counters for the
+// cumulative work (scans, rewrites, packs, busy/skip/error counts),
+// gauges for the byte totals and the realized duty cycle. Call at a
+// phase boundary — the compactor pushes nothing itself, so publishing
+// is a snapshot, consistent with the registry's phase-report model.
+func (f *Fleet) PublishMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s := f.Stats()
+	set := func(name string, v int64) {
+		c := reg.Counter(prefix + "." + name)
+		c.Add(v - c.Value())
+	}
+	set("scans", s.Scans)
+	set("rewrites", s.Rewrites)
+	set("packs", s.Packs)
+	set("packed_objects", s.PackedObjects)
+	set("skipped_busy", s.SkippedBusy)
+	set("errors", s.Errors)
+	reg.Gauge(prefix + ".rewrite_bytes").Set(float64(s.RewriteBytes))
+	reg.Gauge(prefix + ".packed_bytes").Set(float64(s.PackedBytes))
+	reg.Gauge(prefix + ".busy_seconds").Set(s.BusySeconds)
+	var duty float64
+	for _, c := range f.comps {
+		duty += c.cfg.DutyCycle
+	}
+	if len(f.comps) > 0 {
+		duty /= float64(len(f.comps))
+	}
+	reg.Gauge(prefix + ".duty_cycle").Set(duty)
+}
+
+// PublishShardMetrics additionally publishes per-compactor (per-shard)
+// rewrite-byte gauges ("compact.shard0.rewrite_bytes", ...), the
+// skew view a fleet over a sharded store needs.
+func (f *Fleet) PublishShardMetrics(reg *obs.Registry, prefix string) {
+	if reg == nil || len(f.comps) < 2 {
+		return
+	}
+	for i, c := range f.comps {
+		s := c.Stats()
+		name := prefix + ".shard" + strconv.Itoa(i)
+		reg.Gauge(name + ".rewrite_bytes").Set(float64(s.RewriteBytes))
+		reg.Gauge(name + ".busy_seconds").Set(s.BusySeconds)
+	}
+}

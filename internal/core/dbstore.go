@@ -84,6 +84,9 @@ func NewDBStore(clock *vclock.Clock, options ...blob.Option) (*DBStore, error) {
 	}
 	s.committer = blob.NewGroupCommitter(opts.GroupCommitBatch, opts.GroupCommitDelay,
 		s.beginGroup, s.endGroup)
+	if opts.CommitObserver != nil {
+		s.committer.SetObserver(clock, opts.CommitObserver)
+	}
 	return s, nil
 }
 

@@ -94,6 +94,9 @@ func NewFileStore(clock *vclock.Clock, options ...blob.Option) (*FileStore, erro
 	}
 	s.committer = blob.NewGroupCommitter(opts.GroupCommitBatch, opts.GroupCommitDelay,
 		s.beginGroup, s.endGroup)
+	if opts.CommitObserver != nil {
+		s.committer.SetObserver(clock, opts.CommitObserver)
+	}
 	return s, nil
 }
 

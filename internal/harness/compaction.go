@@ -57,6 +57,7 @@ func CompactionSweep(c Config) ([]*stats.Table, error) {
 	tput := stats.NewTable("Online compaction: churn throughput vs duty cycle (rewrite tax included)",
 		"Duty cycle", "MB/sec")
 
+	var latTables []*stats.Table
 	for _, kind := range []string{"database", "filesystem"} {
 		name := "Database"
 		if kind == "filesystem" {
@@ -68,18 +69,24 @@ func CompactionSweep(c Config) ([]*stats.Table, error) {
 		for _, duty := range duties {
 			// Each arm rebuilds the same seeded layout, so the only
 			// difference between duty points is the compactor.
+			clock := vclock.New()
+			p := c.newProbe(fmt.Sprintf("compact %s duty=%g", kind, duty), clock, "")
 			var store blob.Store
 			var err error
 			switch kind {
 			case "database":
-				store, err = core.NewDBStore(vclock.New(), c.storeOptions(64*units.KB)...)
+				store, err = core.NewDBStore(clock, c.storeOptions(64*units.KB)...)
 			case "filesystem":
-				store, err = core.NewFileStore(vclock.New(), c.storeOptions(64*units.KB)...)
+				store, err = core.NewFileStore(clock, c.storeOptions(64*units.KB)...)
 			}
 			if err != nil {
 				return nil, err
 			}
-			runner := workload.NewRunner(store, dist, c.Seed)
+			// The obs layer wraps the whole chain, so compactor rewrites
+			// (which execute through the top) are timed as store.compact
+			// alongside the foreground ops they race.
+			top := p.wrap(store, "store")
+			runner := workload.NewRunner(top, dist, c.Seed)
 			if _, err := runner.BulkLoad(c.Occupancy); err != nil {
 				return nil, fmt.Errorf("compact %s load: %w", kind, err)
 			}
@@ -91,12 +98,17 @@ func CompactionSweep(c Config) ([]*stats.Table, error) {
 			var fleet *compact.Fleet
 			var bg workload.Background
 			if duty > 0 {
-				fleet, err = compact.NewFleet(store, compact.Config{DutyCycle: duty})
+				fleet, err = compact.NewFleet(top, compact.Config{DutyCycle: duty})
 				if err != nil {
 					return nil, fmt.Errorf("compact %s duty %g: %w", kind, duty, err)
 				}
 				bg = fleet
 			}
+			// The latency ledger covers the measured churn only; the
+			// collector attaches after setup so op quantiles describe the
+			// compactor-contended phase.
+			p.reset()
+			runner.WithCollector(p.collector())
 			ctx := context.Background()
 			w := vclock.StartWatch(store.Clock())
 			var churnBytes int64
@@ -116,6 +128,8 @@ func CompactionSweep(c Config) ([]*stats.Table, error) {
 			fragSeries.Add(duty, f)
 			tputSeries.Add(duty, mbps)
 			if fleet != nil {
+				fleet.PublishMetrics(p.registry(), "compact")
+				fleet.PublishShardMetrics(p.registry(), "compact")
 				st := fleet.Stats()
 				frags.Note("%s duty %.2f: %d rewrites (%s), %.1f virtual s compactor-busy; frags %.2f → %.2f",
 					name, duty, st.Rewrites, units.FormatBytes(st.RewriteBytes), st.BusySeconds, before, f)
@@ -125,9 +139,25 @@ func CompactionSweep(c Config) ([]*stats.Table, error) {
 				c.logf("compact: %s compactor off: frags %.2f → %.2f, churn %.2f MB/s",
 					kind, before, f, mbps)
 			}
+			c.reportPhase("compact", fmt.Sprintf("%s duty=%g", kind, duty), p)
+			if duty == duties[len(duties)-1] {
+				latTables = appendTable(latTables, p.latencyTable(
+					fmt.Sprintf("Compaction %s duty=%g: per-op virtual-time latency (churn phase)", name, duty),
+					compactionLatencyMetrics))
+			}
 			blob.CloseStore(store)
 		}
 	}
 	tput.Note("Duty cycle bounds the compactor's share of virtual time; its rewrites charge full read+write cost on the shared clock.")
-	return []*stats.Table{frags, tput}, nil
+	for _, t := range latTables {
+		t.Note("store.compact is one compactor rewrite (full read+write through the chain); foreground op quantiles include virtual time the compactor charged while they were in flight")
+	}
+	return append([]*stats.Table{frags, tput}, latTables...), nil
+}
+
+// compactionLatencyMetrics are the histograms the compact sweep
+// prints: foreground op latencies under compactor contention plus the
+// per-rewrite cost of the compactor itself.
+var compactionLatencyMetrics = []string{
+	"op.create", "op.replace", "op.delete", "op.read", "store.compact",
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/frag"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/units"
 	"repro/internal/vclock"
@@ -67,8 +68,28 @@ type Config struct {
 	DutyCycles []float64
 	// NoOwnerMap disables the disk owner map (large-volume runs).
 	NoOwnerMap bool
+	// Obs enables per-layer observability in the experiments that
+	// support it (interleave, readcache, compact): store chains are
+	// obs-wrapped, every op is timed on the virtual clock, and each
+	// experiment appends per-layer latency quantile tables to its
+	// output. Set from the fragbench -obs / -report / -optrace flags.
+	Obs bool
+	// Report, when non-nil, accumulates the machine-readable run
+	// report: observability-enabled experiments append one phase
+	// snapshot per arm (implies the instrumentation Obs enables).
+	Report *obs.RunReport
+	// Tracer, when non-nil, retains per-op traces (ring of recent ops
+	// plus slowest survivors) across every instrumented arm, for the
+	// -optrace Chrome trace / JSONL dump.
+	Tracer *obs.Tracer
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+}
+
+// obsEnabled reports whether experiments should instrument their store
+// chains (explicitly, or implied by report/trace output).
+func (c Config) obsEnabled() bool {
+	return c.Obs || c.Report != nil || c.Tracer != nil
 }
 
 // DefaultConfig returns bench-scale settings: 4 GB volumes keep every

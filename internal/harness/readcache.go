@@ -60,6 +60,7 @@ func ReadCacheSweep(c Config) ([]*stats.Table, error) {
 	tput := stats.NewTable("Read cache: effective read throughput vs capacity",
 		"Cache MB", "MB/sec")
 
+	var latTables []*stats.Table
 	for _, kind := range []string{"database", "filesystem"} {
 		name := "Database"
 		if kind == "filesystem" {
@@ -89,14 +90,21 @@ func ReadCacheSweep(c Config) ([]*stats.Table, error) {
 		keys := runner.Keys()
 
 		for _, capBytes := range caps {
-			rs := store
+			// Per-arm observability: the aged store is wrapped as the
+			// "disk" layer and the cache (when present) as the "cache"
+			// layer, so a read op's span set shows which layers it
+			// touched — a read with no disk read span was a cache hit
+			// (the collector's MissLayer classification).
+			p := c.newProbe(fmt.Sprintf("readcache %s cap=%s", kind, units.FormatBytes(capBytes)),
+				store.Clock(), "disk")
+			rs := p.wrap(store, "disk")
 			var cs *cache.Store
 			if capBytes > 0 {
-				cs, err = cache.New(store, cache.WithCapacity(capBytes))
+				cs, err = cache.New(rs, cache.WithCapacity(capBytes))
 				if err != nil {
 					return nil, err
 				}
-				rs = cs
+				rs = p.wrap(cs, "cache")
 			}
 			if d, ok := store.(*core.DBStore); ok {
 				// Keep the engine's metadata-pool rate phase-local too.
@@ -112,9 +120,10 @@ func ReadCacheSweep(c Config) ([]*stats.Table, error) {
 					return nil, fmt.Errorf("readcache %s warmup: %w", kind, err)
 				}
 				cs.ResetStats()
+				p.reset()
 			}
 			res, err := workload.ReadPhase(ctx, rs, keys, c.ReadSamples, c.Seed+18,
-				workload.ReadOptions{Popularity: pop})
+				workload.ReadOptions{Popularity: pop, Collector: p.collector()})
 			if err != nil {
 				return nil, fmt.Errorf("readcache %s measure: %w", kind, err)
 			}
@@ -125,6 +134,13 @@ func ReadCacheSweep(c Config) ([]*stats.Table, error) {
 			}
 			hitSeries.Add(capMB, st.HitRate())
 			tputSeries.Add(capMB, res.MBps)
+			c.reportPhase("readcache", fmt.Sprintf("%s cap=%s", kind, units.FormatBytes(capBytes)), p)
+			if capBytes == caps[len(caps)-1] {
+				latTables = appendTable(latTables, p.latencyTable(
+					fmt.Sprintf("Read cache %s cap=%s: per-op virtual-time latency (warm pass)",
+						name, units.FormatBytes(capBytes)),
+					readcacheLatencyMetrics))
+			}
 			c.logf("readcache %s cap=%s: hit rate %.2f, %.1f MB/s, %s resident, %d evictions (%.2f frags/obj underneath)",
 				kind, units.FormatBytes(capBytes), st.HitRate(), res.MBps,
 				units.FormatBytes(st.ResidentBytes), st.Evictions, frags)
@@ -135,5 +151,16 @@ func ReadCacheSweep(c Config) ([]*stats.Table, error) {
 	hits.Note("cap 0 MB = no cache layer; warm-pass rates after a cold fill pass (compulsory misses excluded)")
 	tput.Note("hits are charged at memory bandwidth (%.0f MB/s) on the virtual clock instead of per-fragment disk requests, so effective MB/s scales with the hit rate while the layout's fragmentation is priced only on the cold tail",
 		cache.DefaultMemoryMBps)
-	return []*stats.Table{hits, tput}, nil
+	for _, t := range latTables {
+		t.Note("read.hit/read.miss split by span composition: a read op that recorded no disk read span was served from cache memory; disk.* rows price only the cold tail")
+	}
+	return append([]*stats.Table{hits, tput}, latTables...), nil
+}
+
+// readcacheLatencyMetrics are the histograms the readcache sweep
+// prints: whole-op read latency, its hit/miss split, and the cache and
+// disk layers' own read timings.
+var readcacheLatencyMetrics = []string{
+	"op.read", "read.hit", "read.miss",
+	"cache.open", "cache.readall", "disk.open", "disk.readall",
 }

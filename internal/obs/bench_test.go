@@ -1,0 +1,69 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+// BenchmarkObsOverhead measures the wrapper tax on the Get hot path
+// (Open + ReadAll + Close of one small object) in three configurations:
+//
+//	Raw      — the bare backend, no wrapper
+//	Disabled — obs.Wrap with a nil registry (one branch per call)
+//	Enabled  — obs.Wrap recording into a live registry
+//
+// CI compares Raw vs Disabled: the disabled wrapper must stay within
+// ~5% of the bare store, so instrumented compositions can ship without
+// a build-time switch.
+func BenchmarkObsOverhead(b *testing.B) {
+	const objSize = 4096
+	ctx := context.Background()
+	configs := []struct {
+		name string
+		wrap func(s blob.Store) blob.Store
+	}{
+		{"Raw", func(s blob.Store) blob.Store { return s }},
+		{"Disabled", func(s blob.Store) blob.Store { return obs.Wrap(s, "disk", nil) }},
+		{"Enabled", func(s blob.Store) blob.Store { return obs.Wrap(s, "disk", obs.NewRegistry()) }},
+	}
+	for _, tc := range configs {
+		b.Run(tc.name, func(b *testing.B) {
+			inner, err := core.NewFileStore(vclock.New(), blob.WithCapacity(64*units.MB))
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, objSize)
+			w, err := inner.Create(ctx, "hot", objSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Append(objSize, data); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			s := tc.wrap(inner)
+			b.SetBytes(objSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := s.Open(ctx, "hot")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.ReadAll(); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBucketLayout pins the bucket geometry: the index is monotone in
+// the value, every value falls inside its own bucket's [lower, upper]
+// range, and the relative bucket width stays bounded by 1/subCount —
+// the property that makes an interpolated p999 trustworthy.
+func TestBucketLayout(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{1, 2, 3, 7, 8, 15, 16, 17, 100, 1000, 4095, 4096,
+		1e6, 1e9, 1e12, int64(1) << 49, int64(1) << 55} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone: v=%d idx=%d prev=%d", v, idx, prev)
+		}
+		prev = idx
+		lo, hi := bucketLower(idx), bucketUpper(idx)
+		if v < lo || v > hi {
+			t.Fatalf("v=%d outside its bucket %d: [%d, %d]", v, idx, lo, hi)
+		}
+	}
+	// Exhaustive monotonicity + containment over a dense small range.
+	prev = 0
+	for v := int64(1); v < 100000; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at v=%d", v)
+		}
+		prev = idx
+	}
+	// Relative width bound holds once values exceed subCount (below
+	// that, buckets are exact single integers or coarser by necessity).
+	for idx := bucketIndex(subCount); idx < numBucket-1; idx++ {
+		lo, hi := bucketLower(idx), bucketUpper(idx)
+		if lo <= 0 {
+			continue
+		}
+		if width := float64(hi-lo) / float64(lo); width > 1.0/float64(subCount)+1e-9 {
+			t.Fatalf("bucket %d too wide: [%d, %d] rel=%g", idx, lo, hi, width)
+		}
+	}
+}
+
+// TestHistogramQuantiles records known values and checks every
+// quantile lands within its covering bucket's relative-error bound.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v * 1000) // 1µs .. 1ms
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1000 || s.Max != 1000000 {
+		t.Fatalf("count/min/max: %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 500_000},
+		{0.90, 900_000},
+		{0.99, 990_000},
+		{0.999, 999_000},
+	} {
+		got := s.Quantile(tc.q)
+		// Bucket relative width is 1/subCount; allow that plus the ±½
+		// rank rounding step (one sample = 1000ns here).
+		tol := tc.want/subCount + 2000
+		if got < tc.want-tol || got > tc.want+tol {
+			t.Errorf("q=%g: got %d, want %d ±%d", tc.q, got, tc.want, tol)
+		}
+	}
+	if s.Quantile(0) != s.Min {
+		t.Error("q=0 should clamp to min")
+	}
+	if s.Quantile(1) != s.Max {
+		t.Error("q=1 should clamp to max")
+	}
+	if s.Quantile(0.9999) > s.Max {
+		t.Error("tail quantile exceeded observed max")
+	}
+}
+
+// TestHistogramZeroAndNegative pins the zero-bucket behaviour: values
+// ≤ 0 count, set min to zero, and pull low quantiles to zero without
+// disturbing the positive buckets.
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(100)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Zero != 2 {
+		t.Fatalf("count=%d zero=%d", s.Count, s.Zero)
+	}
+	if s.Min != 0 {
+		t.Fatalf("min = %d, want 0 (zero observations dominate)", s.Min)
+	}
+	if s.Max != 100 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("p50 = %d, want 0 (2 of 3 observations are zero)", q)
+	}
+	if q := s.Quantile(0.99); q != 100 {
+		t.Fatalf("p99 = %d, want 100", q)
+	}
+
+	// Empty histogram: everything reads zero.
+	e := NewHistogram().Snapshot()
+	if e.Count != 0 || e.Quantile(0.5) != 0 || e.Mean() != 0 {
+		t.Fatal("empty histogram should read all-zero")
+	}
+}
+
+// TestHistogramReset proves reset returns the histogram to its
+// initial state, including the min seed.
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	h.Observe(0)
+	h.reset()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Zero != 0 || s.Max != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+	h.Observe(7)
+	s = h.Snapshot()
+	if s.Min != 7 || s.Max != 7 || s.Count != 1 {
+		t.Fatalf("first post-reset observation: %+v", s)
+	}
+}
+
+// TestMergeEqualsGlobal is the merge soundness property: the merge of
+// per-stream snapshots is bucket-for-bucket identical to one histogram
+// that observed every value, regardless of merge order (associativity
+// and commutativity over a random partition).
+func TestMergeEqualsGlobal(t *testing.T) {
+	const streams = 7
+	rng := rand.New(rand.NewSource(1))
+	global := NewHistogram()
+	per := make([]*Histogram, streams)
+	for i := range per {
+		per[i] = NewHistogram()
+	}
+	for i := 0; i < 20000; i++ {
+		v := rng.Int63n(1e9) - 1000 // includes some ≤ 0
+		global.Observe(v)
+		per[rng.Intn(streams)].Observe(v)
+	}
+
+	// Left fold, right fold, and a shuffled fold must all agree with
+	// the global histogram.
+	folds := [][]int{{0, 1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1, 0}, {3, 0, 6, 1, 5, 2, 4}}
+	want := global.Snapshot()
+	for fi, order := range folds {
+		m := &HistogramSnapshot{}
+		for _, i := range order {
+			m.Merge(per[i].Snapshot())
+		}
+		if m.Count != want.Count || m.Sum != want.Sum || m.Zero != want.Zero ||
+			m.Min != want.Min || m.Max != want.Max {
+			t.Fatalf("fold %d header mismatch: %+v vs %+v", fi, m, want)
+		}
+		for b := range want.Buckets {
+			if m.Buckets[b] != want.Buckets[b] {
+				t.Fatalf("fold %d bucket %d: %d vs %d", fi, b, m.Buckets[b], want.Buckets[b])
+			}
+		}
+	}
+
+	// Associativity at the snapshot level: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+	ab := per[0].Snapshot()
+	ab.Merge(per[1].Snapshot())
+	ab.Merge(per[2].Snapshot())
+	bc := per[1].Snapshot()
+	bc.Merge(per[2].Snapshot())
+	acc := per[0].Snapshot()
+	acc.Merge(bc)
+	if ab.Count != acc.Count || ab.Sum != acc.Sum || ab.Min != acc.Min || ab.Max != acc.Max {
+		t.Fatalf("associativity: %+v vs %+v", ab, acc)
+	}
+
+	// Merging an empty or nil snapshot is the identity.
+	id := global.Snapshot()
+	id.Merge(nil)
+	id.Merge(NewHistogram().Snapshot())
+	if id.Count != want.Count || id.Min != want.Min {
+		t.Fatal("merge with empty changed the snapshot")
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ReportSchema identifies the run-report JSON layout; bump on
+// incompatible change. CI validates emitted reports against it.
+const ReportSchema = "fragbench-report/v1"
+
+// RunReport is the machine-readable record of one fragbench run:
+// the configuration, every experiment's tables (the same numbers the
+// text rendering prints), and per-phase metric snapshots with latency
+// quantiles. It is the start of the BENCH_*.json trajectory — a run
+// report diffs across commits the way the text tables cannot.
+type RunReport struct {
+	// Schema is ReportSchema.
+	Schema string `json:"schema"`
+	// CreatedAt is the wall-clock run timestamp (RFC 3339). The only
+	// wall-clock field in the report; everything measured is virtual.
+	CreatedAt string `json:"created_at"`
+	// Config echoes the harness configuration that produced the run.
+	Config map[string]any `json:"config,omitempty"`
+	// Experiments holds one entry per experiment run, in run order.
+	Experiments []*ExperimentReport `json:"experiments"`
+}
+
+// NewRunReport returns an empty report stamped with the current wall
+// time.
+func NewRunReport() *RunReport {
+	return &RunReport{
+		Schema:    ReportSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Experiment appends and returns a new experiment section.
+func (r *RunReport) Experiment(id, title, paper string) *ExperimentReport {
+	e := &ExperimentReport{ID: id, Title: title, Paper: paper}
+	r.Experiments = append(r.Experiments, e)
+	return e
+}
+
+// Section returns the experiment section with the given id, appending
+// an empty one when absent — phases recorded mid-run and tables added
+// after land in the same section.
+func (r *RunReport) Section(id string) *ExperimentReport {
+	for _, e := range r.Experiments {
+		if e.ID == id {
+			return e
+		}
+	}
+	return r.Experiment(id, "", "")
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ExperimentReport is one experiment's section of a run report.
+type ExperimentReport struct {
+	// ID, Title, Paper identify the experiment (harness.Experiment).
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
+	Paper string `json:"paper,omitempty"`
+	// Error is set when the experiment failed; Tables/Phases may be
+	// partial.
+	Error string `json:"error,omitempty"`
+	// Tables are the experiment's figures, the same data the text
+	// rendering prints.
+	Tables []*TableReport `json:"tables,omitempty"`
+	// Phases are per-arm metric snapshots (one per experiment arm that
+	// ran with observability on).
+	Phases []*PhaseReport `json:"phases,omitempty"`
+}
+
+// AddTables serializes stats tables into the experiment section.
+func (e *ExperimentReport) AddTables(tables []*stats.Table) {
+	for _, t := range tables {
+		e.Tables = append(e.Tables, TableFromStats(t))
+	}
+}
+
+// AddPhase captures a registry snapshot as one named phase.
+func (e *ExperimentReport) AddPhase(name string, snap Snapshot) *PhaseReport {
+	p := PhaseFromSnapshot(name, snap)
+	e.Phases = append(e.Phases, p)
+	return p
+}
+
+// TableReport is a stats.Table in JSON form.
+type TableReport struct {
+	Title  string          `json:"title"`
+	XLabel string          `json:"x_label,omitempty"`
+	YLabel string          `json:"y_label,omitempty"`
+	Series []*SeriesReport `json:"series,omitempty"`
+	Notes  []string        `json:"notes,omitempty"`
+}
+
+// SeriesReport is one line of a table: parallel X/Y arrays.
+type SeriesReport struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// TableFromStats converts a rendered table into its report form.
+func TableFromStats(t *stats.Table) *TableReport {
+	out := &TableReport{Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel, Notes: t.Notes}
+	for _, s := range t.Series {
+		sr := &SeriesReport{Name: s.Name}
+		for _, p := range s.Points {
+			sr.X = append(sr.X, p.X)
+			sr.Y = append(sr.Y, p.Y)
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out
+}
+
+// PhaseReport is one experiment arm's metric snapshot: counters,
+// gauges, and latency histograms reduced to their quantiles.
+type PhaseReport struct {
+	Name       string                 `json:"name"`
+	Counters   map[string]int64       `json:"counters,omitempty"`
+	Gauges     map[string]float64     `json:"gauges,omitempty"`
+	Histograms map[string]*HistReport `json:"histograms,omitempty"`
+}
+
+// PhaseFromSnapshot reduces a registry snapshot to a phase report.
+// Histograms with zero observations are dropped (a registry handle
+// that never recorded says nothing about the phase).
+func PhaseFromSnapshot(name string, snap Snapshot) *PhaseReport {
+	p := &PhaseReport{Name: name}
+	if len(snap.Counters) > 0 {
+		p.Counters = make(map[string]int64, len(snap.Counters))
+		for k, v := range snap.Counters {
+			p.Counters[k] = v
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		p.Gauges = make(map[string]float64, len(snap.Gauges))
+		for k, v := range snap.Gauges {
+			p.Gauges[k] = v
+		}
+	}
+	for k, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if p.Histograms == nil {
+			p.Histograms = make(map[string]*HistReport)
+		}
+		p.Histograms[k] = NewHistReport(h)
+	}
+	return p
+}
+
+// HistReport is a latency histogram reduced to its headline quantiles,
+// all in virtual nanoseconds.
+type HistReport struct {
+	Count  int64   `json:"count"`
+	Zero   int64   `json:"zero,omitempty"`
+	MeanNs float64 `json:"mean_ns"`
+	MinNs  int64   `json:"min_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	P999Ns int64   `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// NewHistReport reduces a snapshot to its report quantiles.
+func NewHistReport(s *HistogramSnapshot) *HistReport {
+	return &HistReport{
+		Count:  s.Count,
+		Zero:   s.Zero,
+		MeanNs: s.Mean(),
+		MinNs:  s.Min,
+		P50Ns:  s.Quantile(0.50),
+		P90Ns:  s.Quantile(0.90),
+		P99Ns:  s.Quantile(0.99),
+		P999Ns: s.Quantile(0.999),
+		MaxNs:  s.Max,
+	}
+}
+
+// latencyQuantiles are the percentile x-axis points of a latency
+// table: p50, p90, p99, p999, max.
+var latencyQuantiles = []struct {
+	X float64
+	Q float64
+}{
+	{50, 0.50}, {90, 0.90}, {99, 0.99}, {99.9, 0.999}, {100, 1.0},
+}
+
+// LatencyTable renders the named histograms of a snapshot as a
+// stats.Table with percentile on the x axis (50/90/99/99.9/100) and
+// virtual milliseconds on the y axis — one series per metric, so a
+// per-layer latency breakdown prints through the same table pipeline
+// every experiment already uses. Histograms with zero observations are
+// skipped; the note records each series' op count.
+func LatencyTable(title string, snap Snapshot, names []string) *stats.Table {
+	t := stats.NewTable(title, "percentile", "virtual ms")
+	t.Decimal = 3
+	for _, name := range names {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		s := t.AddSeries(name)
+		for _, lq := range latencyQuantiles {
+			s.Add(lq.X, float64(h.Quantile(lq.Q))/1e6)
+		}
+		t.Note("%s: n=%d mean=%.3fms", name, h.Count, h.Mean()/1e6)
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestSectionFindOrCreate pins the two entry points converging on one
+// section: phases recorded mid-run and tables added afterwards.
+func TestSectionFindOrCreate(t *testing.T) {
+	r := NewRunReport()
+	if r.Schema != ReportSchema {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+	a := r.Section("interleave")
+	a.Title = "t"
+	if r.Section("interleave") != a {
+		t.Fatal("Section did not find the existing entry")
+	}
+	b := r.Section("compact")
+	if b == a || len(r.Experiments) != 2 {
+		t.Fatalf("sections = %d", len(r.Experiments))
+	}
+}
+
+// TestTableFromStats checks the series flatten into parallel X/Y
+// arrays with notes intact.
+func TestTableFromStats(t *testing.T) {
+	tb := stats.NewTable("T", "x", "y")
+	s := tb.AddSeries("a")
+	s.Add(1, 10)
+	s.Add(2, 20)
+	tb.Note("n=%d", 2)
+	tr := TableFromStats(tb)
+	if tr.Title != "T" || tr.XLabel != "x" || tr.YLabel != "y" {
+		t.Fatalf("labels: %+v", tr)
+	}
+	if len(tr.Series) != 1 || tr.Series[0].Name != "a" {
+		t.Fatalf("series: %+v", tr.Series)
+	}
+	if len(tr.Series[0].X) != 2 || tr.Series[0].X[1] != 2 || tr.Series[0].Y[1] != 20 {
+		t.Fatalf("points: %+v", tr.Series[0])
+	}
+	if len(tr.Notes) != 1 || tr.Notes[0] != "n=2" {
+		t.Fatalf("notes: %v", tr.Notes)
+	}
+}
+
+// TestPhaseFromSnapshot checks the phase reduction: counters and
+// gauges copied, zero-count histograms dropped, quantiles filled.
+func TestPhaseFromSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops").Add(3)
+	reg.Gauge("duty").Set(0.5)
+	reg.Histogram("lat").Observe(1000)
+	reg.Histogram("untouched") // created but never recorded
+	p := PhaseFromSnapshot("arm", reg.Snapshot())
+	if p.Name != "arm" || p.Counters["ops"] != 3 || p.Gauges["duty"] != 0.5 {
+		t.Fatalf("phase: %+v", p)
+	}
+	if _, ok := p.Histograms["untouched"]; ok {
+		t.Fatal("zero-count histogram should be dropped")
+	}
+	h := p.Histograms["lat"]
+	if h == nil || h.Count != 1 || h.MinNs != 1000 || h.MaxNs != 1000 || h.P999Ns != 1000 {
+		t.Fatalf("hist report: %+v", h)
+	}
+}
+
+// TestWriteJSONRoundTrip writes a populated report and reads it back
+// through plain JSON, the contract CI's schema check relies on.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRunReport()
+	r.Config = map[string]any{"seed": 1}
+	sec := r.Section("readcache")
+	sec.Title = "Read cache"
+	tb := stats.NewTable("hit rate", "cap", "%")
+	tb.AddSeries("fs").Add(0, 50)
+	sec.AddTables([]*stats.Table{tb})
+	reg := NewRegistry()
+	reg.Histogram("op.read").Observe(500)
+	sec.AddPhase("cap=64M", reg.Snapshot())
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["schema"] != ReportSchema {
+		t.Fatalf("schema = %v", got["schema"])
+	}
+	exps, ok := got["experiments"].([]any)
+	if !ok || len(exps) != 1 {
+		t.Fatalf("experiments: %v", got["experiments"])
+	}
+	exp := exps[0].(map[string]any)
+	if exp["id"] != "readcache" {
+		t.Fatalf("id = %v", exp["id"])
+	}
+	if _, ok := exp["tables"].([]any); !ok {
+		t.Fatal("tables missing")
+	}
+	phases := exp["phases"].([]any)
+	ph := phases[0].(map[string]any)
+	hists := ph["histograms"].(map[string]any)
+	hr := hists["op.read"].(map[string]any)
+	for _, field := range []string{"count", "mean_ns", "p50_ns", "p99_ns", "p999_ns", "max_ns"} {
+		if _, ok := hr[field]; !ok {
+			t.Fatalf("histogram report missing %q: %v", field, hr)
+		}
+	}
+}
+
+// TestLatencyTable renders a snapshot as the percentile table the
+// text output prints.
+func TestLatencyTable(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("store.commit")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1_000_000) // 1..100 virtual ms
+	}
+	reg.Histogram("empty.metric")
+	snap := reg.Snapshot()
+	tb := LatencyTable("Latency", snap, []string{"store.commit", "empty.metric", "absent"})
+	if len(tb.Series) != 1 {
+		t.Fatalf("series = %d, want 1 (empty and absent skipped)", len(tb.Series))
+	}
+	s := tb.Series[0]
+	if s.Name != "store.commit" || len(s.Points) != 5 {
+		t.Fatalf("series: %+v", s)
+	}
+	// x axis is the percentile; y is virtual ms. p100 = max = 100ms.
+	last := s.Points[len(s.Points)-1]
+	if last.X != 100 || last.Y != 100 {
+		t.Fatalf("p100 point = %+v", last)
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "store.commit") || !strings.Contains(out, "n=100") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -10,14 +10,20 @@ import (
 	"strings"
 )
 
-// Summary describes a sample of float64 observations.
+// Summary describes a sample of float64 observations. Quantiles are
+// interpolated (see Percentile), so tail fields like P999 stay
+// meaningful on the modest sample sizes the harness works with instead
+// of snapping to the sample maximum.
 type Summary struct {
 	N    int
 	Mean float64
 	Min  float64
 	Max  float64
 	P50  float64
+	P90  float64
 	P95  float64
+	P99  float64
+	P999 float64
 	Std  float64
 }
 
@@ -46,8 +52,22 @@ func Summarize(xs []float64) Summary {
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
 	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	s.P999 = percentile(sorted, 0.999)
 	return s
+}
+
+// Percentile returns the interpolated p-quantile (p in [0,1]) of xs,
+// sorting a copy. NaN-free input assumed; empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentile(sorted, p)
 }
 
 // CV returns the coefficient of variation (Std/Mean) — the scale-free
@@ -59,19 +79,29 @@ func (s Summary) CV() float64 {
 	return s.Std / s.Mean
 }
 
-// percentile reads the p-quantile from sorted data using nearest-rank.
+// percentile reads the p-quantile from sorted data by linear
+// interpolation at rank p*(n-1) (the "exclusive" method NumPy and Go's
+// own benchstat use): the quantile moves continuously with p instead
+// of jumping between order statistics, which keeps small-sample tail
+// quantiles (P99 of 40 reads) from silently equaling the maximum.
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
+	if p <= 0 || n == 1 {
+		return sorted[0]
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if p >= 1 {
+		return sorted[n-1]
 	}
-	return sorted[idx]
+	rank := p * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Point is one (x, y) observation of a series.

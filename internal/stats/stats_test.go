@@ -15,8 +15,9 @@ func TestSummarize(t *testing.T) {
 	if s.P50 != 3 {
 		t.Fatalf("p50 = %g", s.P50)
 	}
-	if s.P95 != 5 {
-		t.Fatalf("p95 = %g", s.P95)
+	// Interpolated rank 0.95*(5-1) = 3.8 → 4 + 0.8*(5-4).
+	if math.Abs(s.P95-4.8) > 1e-9 {
+		t.Fatalf("p95 = %g, want 4.8", s.P95)
 	}
 	want := math.Sqrt(2)
 	if math.Abs(s.Std-want) > 1e-9 {
@@ -25,6 +26,56 @@ func TestSummarize(t *testing.T) {
 	if Summarize(nil) != (Summary{}) {
 		t.Fatal("empty summary not zero")
 	}
+}
+
+// TestQuantilesKnownSamples pins every Summary quantile on known
+// samples via the interpolated rank p*(n-1).
+func TestQuantilesKnownSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p50  float64
+		p90  float64
+		p95  float64
+		p99  float64
+		p999 float64
+	}{
+		// 0..100: rank p*100 lands exactly on the value 100p.
+		{"0..100", seq(0, 100), 50, 90, 95, 99, 99.9},
+		// Two points: pure interpolation between them.
+		{"pair", []float64{0, 10}, 5, 9, 9.5, 9.9, 9.99},
+		// Single point: every quantile is that point.
+		{"single", []float64{7}, 7, 7, 7, 7, 7},
+		// Constant data: interpolation between equal values.
+		{"constant", []float64{4, 4, 4, 4}, 4, 4, 4, 4, 4},
+	}
+	for _, tc := range cases {
+		s := Summarize(tc.xs)
+		got := []float64{s.P50, s.P90, s.P95, s.P99, s.P999}
+		want := []float64{tc.p50, tc.p90, tc.p95, tc.p99, tc.p999}
+		for i, g := range got {
+			if math.Abs(g-want[i]) > 1e-9 {
+				t.Errorf("%s: quantile %d = %g, want %g", tc.name, i, g, want[i])
+			}
+		}
+	}
+	// Percentile endpoints clamp.
+	if Percentile([]float64{3, 1, 2}, 0) != 1 || Percentile([]float64{3, 1, 2}, 1) != 3 {
+		t.Fatal("Percentile endpoints should clamp to min/max")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty Percentile should be 0")
+	}
+}
+
+// seq returns lo..hi inclusive, deliberately unsorted at the ends to
+// exercise the sort inside Summarize.
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for i := hi; i >= lo; i-- {
+		out = append(out, float64(i))
+	}
+	return out
 }
 
 func TestQuickSummaryBounds(t *testing.T) {

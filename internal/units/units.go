@@ -84,6 +84,33 @@ func RoundUp(n, align int64) int64 {
 	return CeilDiv(n, align) * align
 }
 
+// Duration renders a virtual-nanosecond interval as a human-readable
+// latency: "17ns", "1.5µs", "65.01ms", "4.2s". Values that are not
+// whole multiples get up to two decimal places (the trim idiom
+// FormatBytes uses). Degenerate inputs are clamped like MBps: negative
+// intervals (a histogram min seeded before any observation, a
+// stopwatch read across a reset) render as "0ns" rather than
+// propagating a sign that means nothing in virtual time.
+func Duration(ns int64) string {
+	const (
+		usec = int64(1e3)
+		msec = int64(1e6)
+		sec  = int64(1e9)
+	)
+	switch {
+	case ns <= 0:
+		return "0ns"
+	case ns >= sec:
+		return trim(float64(ns)/float64(sec)) + "s"
+	case ns >= msec:
+		return trim(float64(ns)/float64(msec)) + "ms"
+	case ns >= usec:
+		return trim(float64(ns)/float64(usec)) + "µs"
+	default:
+		return strconv.FormatInt(ns, 10) + "ns"
+	}
+}
+
 // MBps returns a bytes-over-seconds rate in MB/s. Degenerate intervals
 // are clamped to 0 instead of dividing through to Inf or NaN: an
 // all-hit read phase served from a memory cache can leave virtual

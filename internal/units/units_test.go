@@ -73,6 +73,33 @@ func TestCeilDivRoundUp(t *testing.T) {
 	}
 }
 
+func TestDuration(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0ns"},
+		{-1, "0ns"},              // degenerate: clamp like MBps
+		{-int64(1) << 62, "0ns"}, // hugely negative stays clamped
+		{1, "1ns"},
+		{999, "999ns"},
+		{1000, "1µs"},
+		{1500, "1.5µs"},
+		{999999, "1000µs"}, // 999.999 rounds up in the 2-dp trim
+		{1e6, "1ms"},
+		{65_012_000, "65.01ms"},
+		{1e9, "1s"},
+		{42e8, "4.2s"},
+		{36e11, "3600s"}, // huge: stays in seconds, no overflow
+		{int64(1) << 62, "4611686018.43s"},
+	}
+	for _, c := range cases {
+		if got := Duration(c.in); got != c.want {
+			t.Errorf("Duration(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestMBps(t *testing.T) {
 	if got := MBps(10*MB, 2); got != 5 {
 		t.Fatalf("MBps = %g, want 5", got)

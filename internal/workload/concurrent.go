@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/vclock"
 )
@@ -70,6 +71,13 @@ func NewConcurrentRunner(store blob.Store, dists []SizeDist, seed int64) *Concur
 // WithContext sets the context every stream's operations carry.
 func (r *ConcurrentRunner) WithContext(ctx context.Context) *ConcurrentRunner {
 	r.exec.WithContext(ctx)
+	return r
+}
+
+// WithCollector installs per-op observability on the runner's executor
+// (see Executor.WithCollector).
+func (r *ConcurrentRunner) WithCollector(c *obs.Collector) *ConcurrentRunner {
+	r.exec.WithCollector(c)
 	return r
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -26,8 +27,9 @@ import (
 // volume, not of any writer), and phase timing is read from the store's
 // virtual clock.
 type Executor struct {
-	ctx     context.Context
-	tracker *core.AgeTracker
+	ctx       context.Context
+	tracker   *core.AgeTracker
+	collector *obs.Collector
 }
 
 // NewExecutor creates an executor over store with a fresh AgeTracker.
@@ -39,6 +41,16 @@ func NewExecutor(store blob.Store) *Executor {
 // cancelling a long phase from outside.
 func (e *Executor) WithContext(ctx context.Context) *Executor {
 	e.ctx = ctx
+	return e
+}
+
+// WithCollector installs per-op observability: every operation of
+// every stream is timed end-to-end on the virtual clock, recorded into
+// the collector's registry (op.<kind> histograms, read hit/miss
+// classification), and traced with its per-layer spans when the store
+// chain is obs-wrapped. A nil collector (the default) records nothing.
+func (e *Executor) WithCollector(c *obs.Collector) *Executor {
+	e.collector = c
 	return e
 }
 
@@ -204,7 +216,9 @@ func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts) erro
 		if opts.TrackSkipTime {
 			opWatch = vclock.StartWatch(e.Store().Clock())
 		}
-		err := e.execOp(op, c)
+		opCtx, tr := e.collector.StartOp(e.ctx, id, op.Kind.String(), op.Key)
+		err := e.execOp(opCtx, op, c)
+		e.collector.FinishOp(tr, err)
 		if observes {
 			obs.Observe(op, err)
 		}
@@ -228,29 +242,31 @@ func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts) erro
 	}
 }
 
-// execOp executes one op, charging c only on success.
-func (e *Executor) execOp(op Op, c *Counts) error {
+// execOp executes one op, charging c only on success. ctx carries the
+// op's trace (when a collector is installed) so obs-wrapped layers of
+// the store chain can attribute their spans to it.
+func (e *Executor) execOp(ctx context.Context, op Op, c *Counts) error {
 	switch op.Kind {
 	case OpCreate:
-		if err := e.tracker.Put(e.ctx, op.Key, op.Size, nil); err != nil {
+		if err := e.tracker.Put(ctx, op.Key, op.Size, nil); err != nil {
 			return err
 		}
 		c.Creates++
 		c.BytesWritten += op.Size
 	case OpReplace:
-		if err := e.tracker.Replace(e.ctx, op.Key, op.Size, nil); err != nil {
+		if err := e.tracker.Replace(ctx, op.Key, op.Size, nil); err != nil {
 			return err
 		}
 		c.Replaces++
 		c.BytesWritten += op.Size
 	case OpDelete:
-		if err := e.tracker.Delete(e.ctx, op.Key); err != nil {
+		if err := e.tracker.Delete(ctx, op.Key); err != nil {
 			return err
 		}
 		c.Deletes++
 	case OpRead:
 		if op.Len > 0 {
-			r, err := e.Store().Open(e.ctx, op.Key)
+			r, err := e.Store().Open(ctx, op.Key)
 			if err != nil {
 				return err
 			}
@@ -262,7 +278,7 @@ func (e *Executor) execOp(op Op, c *Counts) error {
 			c.Reads++
 			c.BytesRead += op.Len
 		} else {
-			n, _, err := blob.Get(e.ctx, e.Store(), op.Key)
+			n, _, err := blob.Get(ctx, e.Store(), op.Key)
 			if err != nil {
 				return err
 			}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/vclock"
 )
@@ -140,6 +141,13 @@ func NewRunner(store blob.Store, dist SizeDist, seed int64) *Runner {
 	}
 }
 
+// WithCollector installs per-op observability on the runner's executor
+// (see Executor.WithCollector).
+func (r *Runner) WithCollector(c *obs.Collector) *Runner {
+	r.exec.WithCollector(c)
+	return r
+}
+
 // WithContext sets the context the runner's operations carry, for
 // cancelling a long workload phase from outside.
 func (r *Runner) WithContext(ctx context.Context) *Runner {
@@ -249,6 +257,10 @@ type ReadOptions struct {
 	// concentrates reads on a hot set — the regime where a read cache
 	// above the store pays off.
 	Popularity Popularity
+	// Collector, when non-nil, times every read end-to-end on the
+	// virtual clock and traces it through obs-wrapped store layers
+	// (obs.Collector.MissLayer splits cache hits from misses).
+	Collector *obs.Collector
 }
 
 // Popularity picks the index of the object one read targets among n
@@ -287,8 +299,8 @@ func (r *Runner) MeasureRead(samples int, opts ReadOptions) (Result, error) {
 // capacities) with an identical key sequence per seed.
 func ReadPhase(ctx context.Context, s blob.Store, keys []string, samples int,
 	seed int64, opts ReadOptions) (Result, error) {
-	return readPhase(NewExecutor(s).WithContext(ctx), keys, samples,
-		rand.New(rand.NewSource(seed)), opts)
+	return readPhase(NewExecutor(s).WithContext(ctx).WithCollector(opts.Collector),
+		keys, samples, rand.New(rand.NewSource(seed)), opts)
 }
 
 // readPhase is the shared read-measurement phase: a ReadSource through

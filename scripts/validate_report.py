@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a fragbench -report JSON file against the v1 schema.
+
+Usage: validate_report.py report.json [expected-experiment-id ...]
+
+Checks the envelope (schema tag, timestamp, experiments array), every
+table (parallel X/Y arrays), and every phase histogram (required
+quantile fields, ordering p50 <= p90 <= p99 <= p999 <= max). When
+experiment ids are given, each must be present, error-free, and carry
+at least one phase with at least one latency histogram — the contract
+the observability wiring promises for instrumented experiments.
+"""
+import json
+import sys
+
+HIST_FIELDS = ("count", "mean_ns", "min_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns")
+
+
+def fail(msg):
+    print(f"validate_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_hist(where, h):
+    for f in HIST_FIELDS:
+        if f not in h:
+            fail(f"{where}: histogram missing field {f!r}")
+    if h["count"] <= 0:
+        fail(f"{where}: zero-count histogram should have been dropped")
+    q = [h["p50_ns"], h["p90_ns"], h["p99_ns"], h["p999_ns"], h["max_ns"]]
+    if any(a > b for a, b in zip(q, q[1:])):
+        fail(f"{where}: quantiles not monotone: {q}")
+    if not (h["min_ns"] <= h["p50_ns"] and h["p999_ns"] <= h["max_ns"]):
+        fail(f"{where}: quantiles outside [min, max]")
+
+
+def check_table(where, t):
+    if "title" not in t:
+        fail(f"{where}: table missing title")
+    for s in t.get("series") or []:
+        xs, ys = s.get("x") or [], s.get("y") or []
+        if len(xs) != len(ys):
+            fail(f"{where}/{t['title']}/{s.get('name')}: x/y length mismatch "
+                 f"({len(xs)} vs {len(ys)})")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: validate_report.py report.json [experiment-id ...]")
+    path, want_ids = sys.argv[1], sys.argv[2:]
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "fragbench-report/v1":
+        fail(f"schema = {doc.get('schema')!r}, want 'fragbench-report/v1'")
+    if not doc.get("created_at"):
+        fail("created_at missing")
+    exps = doc.get("experiments")
+    if not isinstance(exps, list) or not exps:
+        fail("experiments missing or empty")
+
+    by_id = {}
+    for e in exps:
+        if "id" not in e:
+            fail("experiment without id")
+        by_id[e["id"]] = e
+        for t in e.get("tables") or []:
+            check_table(e["id"], t)
+        for p in e.get("phases") or []:
+            if not p.get("name"):
+                fail(f"{e['id']}: phase without name")
+            for name, h in (p.get("histograms") or {}).items():
+                check_hist(f"{e['id']}/{p['name']}/{name}", h)
+
+    for want in want_ids:
+        e = by_id.get(want)
+        if e is None:
+            fail(f"experiment {want!r} missing from report")
+        if e.get("error"):
+            fail(f"experiment {want!r} failed: {e['error']}")
+        hists = sum(len(p.get("histograms") or {}) for p in e.get("phases") or [])
+        if not hists:
+            fail(f"experiment {want!r} has no latency histograms — obs wiring broken")
+
+    n_phases = sum(len(e.get('phases') or []) for e in exps)
+    print(f"validate_report: OK — {len(exps)} experiments, {n_phases} phases")
+
+
+if __name__ == "__main__":
+    main()
