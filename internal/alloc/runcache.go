@@ -28,6 +28,8 @@ type RunCache struct {
 	pending []extent.Run
 	// pendingClusters tracks their total so FreeClusters stays truthful.
 	pendingClusters int64
+	// scratch backs AllocAppendScratch results between calls.
+	scratch []extent.Run
 }
 
 // NewRunCache creates a run-cache allocator over a volume of the given
@@ -79,6 +81,19 @@ func (rc *RunCache) Alloc(n int64) ([]extent.Run, error) {
 	return rc.AllocAppend(n, -1)
 }
 
+// AllocAppendScratch is AllocAppend without the per-request slice
+// allocation: the returned runs are backed by the cache's internal
+// scratch buffer and stay valid only until the next allocation call.
+// The hot append path (one allocator request per write request) uses
+// it; callers must copy anything they keep.
+func (rc *RunCache) AllocAppendScratch(n, tail int64) ([]extent.Run, error) {
+	out, err := rc.allocAppend(rc.scratch[:0], n, tail)
+	if out != nil {
+		rc.scratch = out
+	}
+	return out, err
+}
+
 // AllocAppend allocates n clusters the way the paper describes NTFS
 // stream allocation (§2): (1) contiguous extension at tail+1 when a
 // sequential append is detected; (2) when banding is configured, the
@@ -93,6 +108,12 @@ func (rc *RunCache) Alloc(n int64) ([]extent.Run, error) {
 // irrelevant (Figure 5): requests never search for a hole that matches
 // the object, so constant-size objects enjoy no special-case reuse.
 func (rc *RunCache) AllocAppend(n, tail int64) ([]extent.Run, error) {
+	return rc.allocAppend(nil, n, tail)
+}
+
+// allocAppend implements both AllocAppend variants, appending the
+// allocated runs to out.
+func (rc *RunCache) allocAppend(out []extent.Run, n, tail int64) ([]extent.Run, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("alloc: invalid request %d", n)
 	}
@@ -105,7 +126,6 @@ func (rc *RunCache) AllocAppend(n, tail int64) ([]extent.Run, error) {
 			return nil, ErrNoSpace
 		}
 	}
-	var out []extent.Run
 	remaining := n
 
 	// (1) Sequential-append tail extension, possibly partial.

@@ -2,7 +2,6 @@ package blob
 
 import (
 	"errors"
-	"sync"
 	"testing"
 
 	"repro/internal/disk"
@@ -78,7 +77,7 @@ func TestKeyLocksStableStripes(t *testing.T) {
 		}
 	}
 	// Many keys must spread over more than one stripe.
-	seen := map[*sync.RWMutex]bool{}
+	seen := map[*paddedRWMutex]bool{}
 	for _, key := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
 		seen[kl.stripe(key)] = true
 	}

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vclock"
@@ -32,16 +33,30 @@ import (
 // gives every child its own pipeline, so batches on different shards
 // force in parallel.
 
-// pendingCommit is one writer waiting in the commit queue.
+// pendingCommit is one writer waiting in the commit queue. Instances
+// are pooled: Do owns one from checkout until the done receive, after
+// which it is reset and recycled — at high stream counts the two
+// allocations per commit (struct + channel) were the single largest
+// allocation site in the pipeline.
 type pendingCommit struct {
 	// apply performs the writer's commit work (publish, accounting)
 	// with the backend's per-commit forces deferred to the group hooks.
 	apply func() error
-	// done receives the writer's own commit error exactly once.
+	// done receives the writer's own commit error exactly once per
+	// checkout (buffered, so the flusher never blocks on fan-out).
 	done chan error
 	// enqueuedNs is the virtual enqueue time, stamped only when an
 	// observer is installed.
 	enqueuedNs int64
+	// err holds the apply's result between the apply loop and the
+	// fan-out (replacing a per-batch error slice).
+	err error
+}
+
+// pcPool recycles pendingCommit structs (and their done channels)
+// across commits and across stores.
+var pcPool = sync.Pool{
+	New: func() any { return &pendingCommit{done: make(chan error, 1)} },
 }
 
 // CommitObserver receives the pipeline's latency split: how long each
@@ -80,18 +95,38 @@ func (s CommitStats) MeanBatch() float64 {
 }
 
 // GroupCommitter is one store's commit pipeline. With batching enabled
-// (maxBatch > 1) a background batcher owns the backend's commit
-// critical section; otherwise Do applies commits inline, byte-for-byte
-// matching the pre-pipeline stores. Safe for concurrent use.
+// (maxBatch > 1) a small pool of background batchers gathers commits
+// from per-batcher queues and a combining flusher issues the group
+// forces; otherwise Do applies commits inline, byte-for-byte matching
+// the pre-pipeline stores. Safe for concurrent use.
 type GroupCommitter struct {
 	maxBatch int
 	maxDelay time.Duration
 	begin    func() // backend hook: start deferring forces
 	end      func() // backend hook: issue the one group force
 
-	queue   chan *pendingCommit
-	stop    chan struct{} // closed by Close to halt the batcher
-	stopped chan struct{} // closed by the batcher once drained
+	// batchers are the gathering stage: Do spreads enqueues across
+	// their queues round-robin (rr), each batcher coalesces its own
+	// stream of commits, and finished batches meet again in the
+	// combining flusher below. One batcher per ~16 commits of maxBatch,
+	// capped small — gathering is cheap; the engine under begin/end is
+	// the serial section.
+	batchers []*batcher
+	rr       atomic.Uint64
+	stop     chan struct{} // closed by Close to halt all batchers
+	stopped  chan struct{} // closed once every batcher has drained
+
+	// The combining flusher: whichever batcher submits a batch while no
+	// flush is running becomes the flusher and keeps draining pend —
+	// including batches submitted by OTHER batchers while it held the
+	// backend bracket — until none remain. Brackets therefore never
+	// overlap (the backends are single-threaded under the store mutex)
+	// while concurrent batchers still combine into one force; at k=256
+	// this is what pushes commits/force past maxBatch.
+	pendMu   sync.Mutex
+	pend     []*pendingCommit
+	spare    []*pendingCommit // drained buffer, swapped back under pend
+	flushing bool
 
 	// observer and obsClock are set once via SetObserver before the
 	// store serves traffic; nil observer records nothing.
@@ -100,9 +135,9 @@ type GroupCommitter struct {
 
 	// closeMu orders enqueues against Close: Do sends while holding the
 	// read side, Close flips closed under the write side before halting
-	// the batcher, so a commit is either enqueued before the batcher's
-	// final drain (and served by it) or sees closed and applies inline —
-	// never stranded in the queue after the batcher exits.
+	// the batchers, so a commit is either enqueued before the final
+	// drain (and served by it) or sees closed and applies inline —
+	// never stranded in a queue after the batchers exit.
 	closeMu sync.RWMutex
 	closed  bool
 	once    sync.Once
@@ -111,25 +146,67 @@ type GroupCommitter struct {
 	stats CommitStats
 }
 
+// batcher is one gathering goroutine with its own commit queue.
+type batcher struct {
+	gc    *GroupCommitter
+	queue chan *pendingCommit
+}
+
+// batcherCount sizes the gathering pool for a given maxBatch: one
+// batcher per 16 commits of configured batch, between 1 and 4. The pool
+// deliberately stays small — the backend bracket is serial, so extra
+// batchers only help keep gathering off the flusher's critical path.
+func batcherCount(maxBatch int) int {
+	n := maxBatch / 16
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
 // NewGroupCommitter builds a commit pipeline. maxBatch is the largest
-// group coalesced into one force; maxBatch <= 1 disables batching and
-// commits synchronously. maxDelay is how long the batcher holds an
-// underfull batch open waiting for more commits; 0 coalesces only
-// commits already queued (no added latency). begin and end bracket each
-// batch on the backend.
+// group one batcher coalesces before submitting (combined forces may
+// cover more; see CommitStats.MaxBatch); maxBatch <= 1 disables
+// batching and commits synchronously. maxDelay is how long a batcher
+// holds an underfull batch open waiting for more commits; 0 coalesces
+// only commits already queued (no added latency). begin and end bracket
+// each group force on the backend.
 func NewGroupCommitter(maxBatch int, maxDelay time.Duration, begin, end func()) *GroupCommitter {
 	gc := &GroupCommitter{maxBatch: maxBatch, maxDelay: maxDelay, begin: begin, end: end}
 	if maxBatch > 1 {
-		gc.queue = make(chan *pendingCommit, 4*maxBatch)
 		gc.stop = make(chan struct{})
 		gc.stopped = make(chan struct{})
-		go gc.run()
+		n := batcherCount(maxBatch)
+		// Per-batcher gather target: the pool together still coalesces
+		// up to maxBatch commits per wave, each batcher gathering its
+		// share before handing off to the combining flusher.
+		per := maxBatch / n
+		if per < 2 {
+			per = 2
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			b := &batcher{gc: gc, queue: make(chan *pendingCommit, 4*per)}
+			gc.batchers = append(gc.batchers, b)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.run(per)
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(gc.stopped)
+		}()
 	}
 	return gc
 }
 
 // Batching reports whether commits are coalesced asynchronously.
-func (gc *GroupCommitter) Batching() bool { return gc.queue != nil }
+func (gc *GroupCommitter) Batching() bool { return len(gc.batchers) > 0 }
 
 // SetObserver installs a pipeline latency observer timed on the given
 // virtual clock. Call before the store serves traffic (the store
@@ -147,7 +224,7 @@ func (gc *GroupCommitter) SetObserver(clock *vclock.Clock, o CommitObserver) {
 // contract: nothing is visible before Do returns, and after a failed
 // apply the writer is still open for Abort.
 func (gc *GroupCommitter) Do(apply func() error) error {
-	if gc.queue == nil {
+	if len(gc.batchers) == 0 {
 		err := apply()
 		gc.record(1)
 		return err
@@ -155,33 +232,41 @@ func (gc *GroupCommitter) Do(apply func() error) error {
 	gc.closeMu.RLock()
 	if gc.closed {
 		gc.closeMu.RUnlock()
-		// Wait for the batcher to finish its final drain before applying
-		// inline: until it exits, a begin/end bracket may be open on the
-		// backend, and an inline commit running inside it would get its
-		// forces deferred into someone else's batch — returning before
-		// they are issued. After stopped, no bracket exists and the
-		// inline apply forces its own records immediately.
+		// Wait for the batchers to finish their final drain before
+		// applying inline: until they exit, a begin/end bracket may be
+		// open on the backend, and an inline commit running inside it
+		// would get its forces deferred into someone else's batch —
+		// returning before they are issued. After stopped, no bracket
+		// exists and the inline apply forces its own records immediately.
 		<-gc.stopped
 		err := apply()
 		gc.record(1)
 		return err
 	}
-	pc := &pendingCommit{apply: apply, done: make(chan error, 1)}
+	pc := pcPool.Get().(*pendingCommit)
+	pc.apply = apply
 	if gc.observer != nil {
 		pc.enqueuedNs = gc.obsClock.Now()
 	}
-	// The send may block on a full queue, but only while the batcher is
-	// alive and draining: Close cannot proceed past closeMu until this
-	// read lock is released.
-	gc.queue <- pc
+	// Round-robin across the batcher queues. The send may block on a
+	// full queue, but only while that batcher is alive and draining:
+	// Close cannot proceed past closeMu until this read lock is
+	// released.
+	b := gc.batchers[gc.rr.Add(1)%uint64(len(gc.batchers))]
+	b.queue <- pc
 	gc.closeMu.RUnlock()
-	return <-pc.done
+	err := <-pc.done
+	pc.apply = nil
+	pc.enqueuedNs = 0
+	pc.err = nil
+	pcPool.Put(pc)
+	return err
 }
 
-// Close drains the queue and stops the batcher. Commits issued after
+// Close drains the queues and stops the batchers. Commits issued after
 // Close apply synchronously, so a closed store's writers still work.
 func (gc *GroupCommitter) Close() {
-	if gc.queue == nil {
+	if len(gc.batchers) == 0 {
 		return
 	}
 	gc.once.Do(func() {
@@ -211,37 +296,43 @@ func (gc *GroupCommitter) record(n int) {
 	gc.mu.Unlock()
 }
 
-// run is the batcher: it blocks for the first pending commit, coalesces
-// up to maxBatch-1 more, and flushes the batch inside one begin/end
-// bracket. On Close it drains whatever is still queued, then announces
-// exit so late Do calls fall back to synchronous commits.
+// run is one batcher: it blocks for the first pending commit on its own
+// queue, coalesces up to per-1 more, and submits the batch to the
+// combining flusher. On Close it drains whatever is still queued, then
+// exits; stopped closes once every batcher in the pool has drained, so
+// late Do calls fall back to synchronous commits only after no bracket
+// can be open.
 //
-// The batcher owns ONE maxDelay timer for its whole lifetime. The
+// Each batcher owns ONE maxDelay timer for its whole lifetime. The
 // timer only runs while a batch is being gathered — gather arms it for
 // each batch and disarms it (stopping AND draining the fired tick) on
 // every exit path where it did not fire, so an idle store can never
 // carry a stale tick into the next batch. Without the drain, a tick
 // that fired between batches would truncate the next batch's wait to
 // zero: a stale "the delay elapsed" flush for a delay that never ran.
-func (gc *GroupCommitter) run() {
-	defer close(gc.stopped)
+func (b *batcher) run(per int) {
+	gc := b.gc
 	var timer *time.Timer
 	if gc.maxDelay > 0 {
 		timer = time.NewTimer(gc.maxDelay)
 		stopTimer(timer)
 		defer timer.Stop()
 	}
+	// The gather batch is reused across waves: submit hands the commits
+	// to the flusher's pend list, so the backing array is free again by
+	// the time gather refills it.
+	batch := make([]*pendingCommit, 0, per)
 	for {
 		select {
-		case pc := <-gc.queue:
-			gc.flush(gc.gather(pc, timer))
+		case pc := <-b.queue:
+			gc.submit(b.gather(batch[:0], pc, per, timer))
 		case <-gc.stop:
 			for {
 				select {
-				case pc := <-gc.queue:
+				case pc := <-b.queue:
 					// Final drain: coalesce without the timer (stop has
 					// fired; nothing should wait on wall time anymore).
-					gc.flush(gc.gather(pc, nil))
+					gc.submit(b.gather(batch[:0], pc, per, nil))
 				default:
 					return
 				}
@@ -262,15 +353,17 @@ func stopTimer(t *time.Timer) {
 	}
 }
 
-// gather coalesces queued commits behind first, waiting up to maxDelay
-// (timer non-nil) for an underfull batch to fill. The timer is armed
-// on entry and always disarmed by exit.
-func (gc *GroupCommitter) gather(first *pendingCommit, timer *time.Timer) []*pendingCommit {
-	batch := []*pendingCommit{first}
+// gather coalesces queued commits behind first into batch (reused
+// storage), waiting up to maxDelay (timer non-nil) for an underfull
+// batch to fill. The timer is armed on entry and always disarmed by
+// exit.
+func (b *batcher) gather(batch []*pendingCommit, first *pendingCommit, per int, timer *time.Timer) []*pendingCommit {
+	gc := b.gc
+	batch = append(batch, first)
 	if timer == nil {
-		for len(batch) < gc.maxBatch {
+		for len(batch) < per {
 			select {
-			case pc := <-gc.queue:
+			case pc := <-b.queue:
 				batch = append(batch, pc)
 			default:
 				return batch
@@ -279,9 +372,9 @@ func (gc *GroupCommitter) gather(first *pendingCommit, timer *time.Timer) []*pen
 		return batch
 	}
 	timer.Reset(gc.maxDelay)
-	for len(batch) < gc.maxBatch {
+	for len(batch) < per {
 		select {
-		case pc := <-gc.queue:
+		case pc := <-b.queue:
 			batch = append(batch, pc)
 		case <-timer.C:
 			// The tick was consumed; the timer is already disarmed.
@@ -295,10 +388,39 @@ func (gc *GroupCommitter) gather(first *pendingCommit, timer *time.Timer) []*pen
 	return batch
 }
 
+// submit hands a gathered batch to the combining flusher. Exactly one
+// submitter flushes at a time: the first to arrive takes the flushing
+// flag and keeps draining pend — batches landed by other batchers while
+// it held the backend bracket ride its next force — until the list is
+// empty. The others return immediately; their writers' errors fan back
+// through the done channels when the active flusher reaches them.
+func (gc *GroupCommitter) submit(batch []*pendingCommit) {
+	gc.pendMu.Lock()
+	gc.pend = append(gc.pend, batch...)
+	if gc.flushing {
+		gc.pendMu.Unlock()
+		return
+	}
+	gc.flushing = true
+	// pend and spare flip-flop: the drained buffer becomes the next
+	// accumulation buffer, so steady-state submission never reallocates.
+	for len(gc.pend) > 0 {
+		work := gc.pend
+		gc.pend = gc.spare[:0]
+		gc.pendMu.Unlock()
+		gc.flush(work)
+		gc.pendMu.Lock()
+		gc.spare = work[:0]
+	}
+	gc.flushing = false
+	gc.pendMu.Unlock()
+}
+
 // flush applies every commit in the batch inside one begin/end bracket
 // — the single group force — then fans each writer its own error. One
 // writer's failure (no space, metadata full) never poisons the rest of
-// the batch.
+// the batch. Only the combining flusher calls this, so brackets never
+// overlap on the backend.
 func (gc *GroupCommitter) flush(batch []*pendingCommit) {
 	if gc.observer != nil {
 		now := gc.obsClock.Now()
@@ -307,9 +429,8 @@ func (gc *GroupCommitter) flush(batch []*pendingCommit) {
 		}
 	}
 	gc.begin()
-	errs := make([]error, len(batch))
-	for i, pc := range batch {
-		errs[i] = pc.apply()
+	for _, pc := range batch {
+		pc.err = pc.apply()
 	}
 	var forceStart int64
 	if gc.observer != nil {
@@ -320,8 +441,8 @@ func (gc *GroupCommitter) flush(batch []*pendingCommit) {
 		gc.observer.ObserveForce(gc.obsClock.Now()-forceStart, len(batch))
 	}
 	gc.record(len(batch))
-	for i, pc := range batch {
-		pc.done <- errs[i]
+	for _, pc := range batch {
+		pc.done <- pc.err
 	}
 }
 

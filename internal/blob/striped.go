@@ -3,6 +3,7 @@ package blob
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 )
 
 // DefaultKeyStripes is the stripe count a KeyLocks gets when the
@@ -26,8 +27,16 @@ const DefaultKeyStripes = 64
 // Build a KeyLocks with NewKeyLocks; the zero value has no stripes and
 // must not be used.
 type KeyLocks struct {
-	stripes []sync.RWMutex
+	stripes []paddedRWMutex
 	mask    uint64
+}
+
+// paddedRWMutex gives each stripe its own cache line: with hundreds of
+// streams hashing across the array, adjacent stripes packed 24 bytes
+// apart would false-share every lock word.
+type paddedRWMutex struct {
+	sync.RWMutex
+	_ [64 - unsafe.Sizeof(sync.RWMutex{})%64]byte
 }
 
 // NewKeyLocks builds a KeyLocks with the given stripe count. A count of
@@ -41,7 +50,7 @@ func NewKeyLocks(stripes int) (*KeyLocks, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadStripeCount, stripes)
 	}
 	return &KeyLocks{
-		stripes: make([]sync.RWMutex, stripes),
+		stripes: make([]paddedRWMutex, stripes),
 		mask:    uint64(stripes - 1),
 	}, nil
 }
@@ -51,7 +60,7 @@ func (kl *KeyLocks) Stripes() int { return len(kl.stripes) }
 
 // stripe returns the lock shard for key (FNV-1a, folded to the stripe
 // count).
-func (kl *KeyLocks) stripe(key string) *sync.RWMutex {
+func (kl *KeyLocks) stripe(key string) *paddedRWMutex {
 	return &kl.stripes[fnv1a(key)&kl.mask]
 }
 

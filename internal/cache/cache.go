@@ -481,7 +481,8 @@ func (s *Store) Open(ctx context.Context, key string) (blob.Reader, error) {
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok && e.full {
 		s.touch(e)
-		r := &hitReader{s: s, ctx: ctx, key: key, size: e.size, data: e.data,
+		r := hitReaderPool.Get().(*hitReader)
+		*r = hitReader{s: s, ctx: ctx, key: key, size: e.size, data: e.data,
 			version: s.versions[key]}
 		s.mu.Unlock()
 		return r, nil
@@ -492,8 +493,19 @@ func (s *Store) Open(ctx context.Context, key string) (blob.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &missReader{s: s, ctx: ctx, key: key, r: inner, version: v}, nil
+	r := missReaderPool.Get().(*missReader)
+	*r = missReader{s: s, ctx: ctx, key: key, r: inner, version: v}
+	return r, nil
 }
+
+// Reader handles are recycled: Open is one per read op, so at hundreds
+// of streams the two wrapper types dominate the cache layer's alloc
+// profile. First Close retires a handle; use-after-Close remains the
+// same misuse it always was.
+var (
+	hitReaderPool  = sync.Pool{New: func() any { return new(hitReader) }}
+	missReaderPool = sync.Pool{New: func() any { return new(missReader) }}
+)
 
 // hitReader serves one fully resident object version from memory. It
 // snapshots the payload at Open, so a concurrent eviction cannot
@@ -565,9 +577,14 @@ func (r *hitReader) ReadAt(off, length int64) ([]byte, error) {
 	return clone(r.data[off : off+length]), nil
 }
 
-// Close implements blob.Reader.
+// Close implements blob.Reader. The first Close retires the handle to
+// the pool.
 func (r *hitReader) Close() error {
-	r.closed = true
+	if !r.closed {
+		r.closed = true
+		r.data = nil // don't pin evicted payloads from the pool
+		hitReaderPool.Put(r)
+	}
 	return nil
 }
 
@@ -697,10 +714,16 @@ func (r *missReader) ReadAt(off, length int64) ([]byte, error) {
 	return data, nil
 }
 
-// Close implements blob.Reader.
+// Close implements blob.Reader. The first Close retires the handle to
+// the pool after closing the inner reader.
 func (r *missReader) Close() error {
+	if r.closed {
+		return r.r.Close()
+	}
 	r.closed = true
-	return r.r.Close()
+	inner := r.r
+	missReaderPool.Put(r)
+	return inner.Close()
 }
 
 // cacheWriter wraps an inner Writer to invalidate the cached entry when

@@ -137,13 +137,15 @@ func (s *DBStore) Open(ctx context.Context, key string) (blob.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &dbReader{s: s, ctx: ctx, key: key, size: size, tag: s.eng.Tag(key)}, nil
+	r := dbReaderPool.Get().(*dbReader)
+	*r = dbReader{s: s, ctx: ctx, key: key, size: size, tag: s.eng.Tag(key)}
+	return r, nil
 }
 
 // dbReader is a read handle pinned to one object version: every write
 // stamps a fresh owner tag, so a tag mismatch means the version opened
 // was replaced (or deleted) and reads fail with ErrNotFound, matching
-// the filesystem backend.
+// the filesystem backend. Handles are pooled; Close retires them.
 type dbReader struct {
 	s      *DBStore
 	ctx    context.Context
@@ -152,6 +154,9 @@ type dbReader struct {
 	tag    uint32
 	closed bool
 }
+
+// dbReaderPool recycles read handles across Opens.
+var dbReaderPool = sync.Pool{New: func() any { return new(dbReader) }}
 
 // Size implements blob.Reader.
 func (r *dbReader) Size() int64 { return r.size }
@@ -202,9 +207,13 @@ func (r *dbReader) ReadAt(off, length int64) ([]byte, error) {
 	return r.s.eng.GetRange(r.key, off, length)
 }
 
-// Close implements blob.Reader.
+// Close implements blob.Reader. The first Close retires the handle to
+// the pool; later Closes on the same handle are no-ops.
 func (r *dbReader) Close() error {
-	r.closed = true
+	if !r.closed {
+		r.closed = true
+		dbReaderPool.Put(r)
+	}
 	return nil
 }
 
@@ -234,17 +243,26 @@ func (s *DBStore) newWriter(ctx context.Context, key string, size int64, replace
 		return nil, fmt.Errorf("%w: %s", blob.ErrBusy, key)
 	}
 	if !replace {
-		if _, err := s.eng.Stat(key); err == nil {
+		if s.eng.Has(key) {
 			return nil, fmt.Errorf("%w: %s", blob.ErrAlreadyExists, key)
 		}
 	}
 	s.inflight[key] = true
-	return &dbWriter{s: s, ctx: ctx, key: key,
-		state: blob.NewStreamState(key, size), size: size, replace: replace}, nil
+	w := dbWriterPool.Get().(*dbWriter)
+	apply := w.apply
+	*w = dbWriter{s: s, ctx: ctx, key: key,
+		state: blob.NewStreamState(key, size), size: size, replace: replace, buf: w.buf[:0]}
+	if apply == nil {
+		apply = w.commitApply
+	}
+	w.apply = apply
+	return w, nil
 }
 
 // dbWriter buffers one object version client-side and commits it in a
-// single engine transaction.
+// single engine transaction. Writers are pooled (the payload buffer's
+// capacity rides along); a successful Commit or an Abort retires the
+// handle.
 type dbWriter struct {
 	s       *DBStore
 	ctx     context.Context
@@ -253,6 +271,18 @@ type dbWriter struct {
 	size    int64
 	buf     []byte
 	replace bool
+	apply   func() error // cached commitApply method value
+}
+
+// dbWriterPool recycles write handles across commits.
+var dbWriterPool = sync.Pool{New: func() any { return new(dbWriter) }}
+
+// retire returns a finished (committed or aborted) writer to the pool.
+func (w *dbWriter) retire() {
+	apply, buf := w.apply, w.buf[:0]
+	*w = dbWriter{apply: apply, buf: buf}
+	w.state.Close()
+	dbWriterPool.Put(w)
 }
 
 // Append implements blob.Writer. One stream is all-payload or
@@ -287,7 +317,13 @@ func (w *dbWriter) Commit() error {
 	if err := w.state.BeginCommit(w.ctx); err != nil {
 		return err
 	}
-	return w.s.committer.Do(w.commitApply)
+	err := w.s.committer.Do(w.apply)
+	if err == nil {
+		// Only a successful commit retires the handle: after a failed
+		// apply the writer stays open for Abort.
+		w.retire()
+	}
+	return err
 }
 
 // commitApply performs the engine transaction of one commit, with the
@@ -335,9 +371,9 @@ func (w *dbWriter) Abort() error {
 	defer w.s.locks.Unlock(w.key)
 	w.s.mu.Lock()
 	defer w.s.mu.Unlock()
-	w.buf = nil
 	delete(w.s.inflight, w.key)
 	w.state.Close()
+	w.retire()
 	return nil
 }
 

@@ -180,18 +180,29 @@ func (s *FileStore) Open(ctx context.Context, key string) (blob.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fileReader{s: s, ctx: ctx, key: key, f: f, size: f.Size()}, nil
+	r := fileReaderPool.Get().(*fileReader)
+	*r = fileReader{s: s, ctx: ctx, key: key, f: f, tag: f.Tag(), size: f.Size()}
+	return r, nil
 }
 
-// fileReader is a read handle over one committed file version.
+// fileReader is a read handle over one committed file version. Handles
+// are pooled: Close retires the handle (it keeps returning ErrClosed
+// until the pool hands it to a new Open). The pinned version is the
+// (pointer, tag) pair — File structs are recycled by the volume, so the
+// pointer alone could be resurrected under the same key.
 type fileReader struct {
 	s      *FileStore
 	ctx    context.Context
 	key    string
 	f      *fs.File
+	tag    uint32
 	size   int64
 	closed bool
 }
+
+// fileReaderPool recycles read handles; at high stream counts the
+// per-read handle allocation was a top-ten allocation site.
+var fileReaderPool = sync.Pool{New: func() any { return new(fileReader) }}
 
 // Size implements blob.Reader.
 func (r *fileReader) Size() int64 { return r.size }
@@ -206,7 +217,7 @@ func (r *fileReader) validate() (*fs.File, error) {
 		return nil, err
 	}
 	cur, ok := r.s.vol.Lookup(r.key)
-	if !ok || cur != r.f {
+	if !ok || cur != r.f || cur.Tag() != r.tag {
 		return nil, fmt.Errorf("%w: %s (version replaced or deleted)", blob.ErrNotFound, r.key)
 	}
 	return cur, nil
@@ -238,9 +249,13 @@ func (r *fileReader) ReadAt(off, length int64) ([]byte, error) {
 	return f.ReadAt(off, length)
 }
 
-// Close implements blob.Reader.
+// Close implements blob.Reader. The first Close retires the handle to
+// the pool; later Closes on the same handle are no-ops.
 func (r *fileReader) Close() error {
-	r.closed = true
+	if !r.closed {
+		r.closed = true
+		fileReaderPool.Put(r)
+	}
 	return nil
 }
 
@@ -293,13 +308,25 @@ func (s *FileStore) newWriter(ctx context.Context, key string, size int64, repla
 		}
 	}
 	s.inflight[key] = true
-	return &fileWriter{s: s, ctx: ctx, key: key, tmp: tmp, f: f,
-		state: blob.NewStreamState(key, size), size: size, replace: replace}, nil
+	w := fileWriterPool.Get().(*fileWriter)
+	apply := w.apply
+	*w = fileWriter{s: s, ctx: ctx, key: key, tmp: tmp, f: f,
+		state: blob.NewStreamState(key, size), size: size, replace: replace}
+	if apply == nil {
+		// Bind the commit closure once per pooled instance; the method
+		// value pins w itself, so it stays correct across reuses and
+		// saves a closure allocation per commit.
+		apply = w.commitApply
+	}
+	w.apply = apply
+	return w, nil
 }
 
 // fileWriter streams one safe write: appends land in a temp file in
 // request-sized chunks; Commit closes (forcing the data) and atomically
-// renames over the permanent file.
+// renames over the permanent file. Writers are pooled: a successful
+// Commit or an Abort retires the handle (its stream state stays closed
+// until the pool hands it to a new Create/Replace).
 type fileWriter struct {
 	s       *FileStore
 	ctx     context.Context
@@ -309,6 +336,18 @@ type fileWriter struct {
 	state   blob.StreamState
 	size    int64 // declared total
 	replace bool
+	apply   func() error // cached commitApply method value
+}
+
+// fileWriterPool recycles write handles across safe writes.
+var fileWriterPool = sync.Pool{New: func() any { return new(fileWriter) }}
+
+// retire returns a finished (committed or aborted) writer to the pool.
+func (w *fileWriter) retire() {
+	apply := w.apply
+	*w = fileWriter{apply: apply}
+	w.state.Close()
+	fileWriterPool.Put(w)
 }
 
 // Append implements blob.Writer.
@@ -360,7 +399,13 @@ func (w *fileWriter) Commit() error {
 	if err := w.state.BeginCommit(w.ctx); err != nil {
 		return err
 	}
-	return w.s.committer.Do(w.commitApply)
+	err := w.s.committer.Do(w.apply)
+	if err == nil {
+		// Only a fully successful commit retires the handle: after a
+		// failed apply the writer stays open for Abort.
+		w.retire()
+	}
+	return err
 }
 
 // commitApply performs the publish work of one safe-write commit, with
@@ -432,6 +477,7 @@ func (w *fileWriter) Abort() error {
 	}
 	delete(w.s.inflight, w.key)
 	w.state.Close()
+	w.retire()
 	return nil
 }
 

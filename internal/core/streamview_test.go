@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/units"
+)
+
+// driveKeyspace runs one stream's fixed op sequence — create, replace,
+// replace, delete-every-third — against acct, the plain tracker or one
+// StreamView. Identical inputs on both sides is the whole point.
+func driveKeyspace(t *testing.T, acct interface {
+	Put(ctx context.Context, key string, size int64, data []byte) error
+	Replace(ctx context.Context, key string, size int64, data []byte) error
+	Delete(ctx context.Context, key string) error
+}, stream, objects int) {
+	t.Helper()
+	ctx := context.Background()
+	for j := 0; j < objects; j++ {
+		key := fmt.Sprintf("s%03d/obj%03d", stream, j)
+		size := 4*units.KB + int64(512*j)
+		if err := acct.Put(ctx, key, size, nil); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		if err := acct.Replace(ctx, key, size+256, nil); err != nil {
+			t.Fatalf("replace %s: %v", key, err)
+		}
+		if j%3 == 0 {
+			if err := acct.Delete(ctx, key); err != nil {
+				t.Fatalf("delete %s: %v", key, err)
+			}
+		}
+	}
+}
+
+// TestStreamViewMatchesTrackerBitIdentical pins the k=1 guarantee: the
+// same op sequence charged through a single StreamView (merged at the
+// end) yields the same retired/live counters as the plain tracker —
+// and the same Age down to the last float64 bit, since the paper's
+// storage-age curves are keyed on that ratio.
+func TestStreamViewMatchesTrackerBitIdentical(t *testing.T) {
+	runOn := func(view bool) (*AgeTracker, float64) {
+		s := mustFileStore(t, blob.WithCapacity(256*units.MB))
+		tr := NewAgeTracker(s)
+		if view {
+			v := tr.StreamView()
+			driveKeyspace(t, v, 0, 40)
+			v.Merge()
+		} else {
+			driveKeyspace(t, tr, 0, 40)
+		}
+		return tr, tr.Age()
+	}
+	base, baseAge := runOn(false)
+	viewed, viewAge := runOn(true)
+	if base.LiveBytes() != viewed.LiveBytes() {
+		t.Fatalf("live bytes: tracker %d, view %d", base.LiveBytes(), viewed.LiveBytes())
+	}
+	if base.RetiredBytes() != viewed.RetiredBytes() {
+		t.Fatalf("retired bytes: tracker %d, view %d", base.RetiredBytes(), viewed.RetiredBytes())
+	}
+	if math.Float64bits(baseAge) != math.Float64bits(viewAge) {
+		t.Fatalf("age not bit-identical: tracker %x, view %x",
+			math.Float64bits(baseAge), math.Float64bits(viewAge))
+	}
+}
+
+// TestStreamViewConcurrentMergeEqualsGlobal drives 256 concurrent
+// StreamViews over disjoint keyspaces and checks the merged tracker
+// state equals a sequential run of the same ops through the plain
+// tracker: byte counters, Age, and the per-key committed-size map. Run
+// under -race this also pins the views' locking discipline.
+func TestStreamViewConcurrentMergeEqualsGlobal(t *testing.T) {
+	const streams, objects = 256, 4
+
+	seq := NewAgeTracker(mustFileStore(t, blob.WithCapacity(512*units.MB)))
+	for i := 0; i < streams; i++ {
+		driveKeyspace(t, seq, i, objects)
+	}
+
+	conc := NewAgeTracker(mustFileStore(t, blob.WithCapacity(512*units.MB)))
+	var wg sync.WaitGroup
+	wg.Add(streams)
+	for i := 0; i < streams; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v := conc.StreamView()
+			driveKeyspace(t, v, i, objects)
+			v.Merge()
+		}(i)
+	}
+	wg.Wait()
+
+	if seq.LiveBytes() != conc.LiveBytes() {
+		t.Fatalf("live bytes: sequential %d, merged %d", seq.LiveBytes(), conc.LiveBytes())
+	}
+	if seq.RetiredBytes() != conc.RetiredBytes() {
+		t.Fatalf("retired bytes: sequential %d, merged %d", seq.RetiredBytes(), conc.RetiredBytes())
+	}
+	if math.Float64bits(seq.Age()) != math.Float64bits(conc.Age()) {
+		t.Fatalf("age: sequential %v, merged %v", seq.Age(), conc.Age())
+	}
+	seq.mu.Lock()
+	conc.mu.Lock()
+	if len(seq.sizes) != len(conc.sizes) {
+		t.Fatalf("size map: sequential %d keys, merged %d", len(seq.sizes), len(conc.sizes))
+	}
+	for k, e := range seq.sizes {
+		if ce, ok := conc.sizes[k]; !ok || ce != e {
+			t.Fatalf("size map diverges at %s: sequential %+v, merged %+v (present=%v)", k, e, ce, ok)
+		}
+	}
+	conc.mu.Unlock()
+	seq.mu.Unlock()
+}

@@ -1,10 +1,20 @@
 package db
 
+import "sync"
+
 // bufferPool is a small LRU cache of metadata pages (row pages and blob
 // fragment-tree node pages). The paper's setup keeps table data cacheable
 // by storing BLOBs out of row (§4.2: "allowing the table data to be kept
 // in cache"); BLOB data pages stream through and are not cached.
+//
+// The pool carries its own mutex rather than relying on the store-level
+// lock above the engine: Reset and HitRate are reachable from harness
+// reporting paths that do NOT hold that lock (phase-separation resets
+// while reader goroutines are mid-Access), and an unsynchronized reset
+// racing an Access can corrupt the LRU list — unlinking an entry twice
+// returns the same page slot to the list's head and tail at once.
 type bufferPool struct {
+	mu       sync.Mutex
 	capacity int
 	entries  map[PageID]*poolEntry
 	head     *poolEntry // most recently used
@@ -31,6 +41,8 @@ func newBufferPool(capacity int) *bufferPool {
 // Access records a page touch and reports whether it was a cache hit.
 // On miss the page is installed, evicting the LRU entry if needed.
 func (bp *bufferPool) Access(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if bp.capacity <= 0 {
 		bp.misses++
 		return false
@@ -52,6 +64,8 @@ func (bp *bufferPool) Access(id PageID) bool {
 
 // Invalidate drops a page (when its blob is deleted or rebuilt).
 func (bp *bufferPool) Invalidate(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if e, ok := bp.entries[id]; ok {
 		bp.unlink(e)
 		delete(bp.entries, id)
@@ -106,15 +120,20 @@ func (bp *bufferPool) evict() {
 // deliberately preserved: Reset separates accounting phases, it does
 // not cool the cache.
 func (bp *bufferPool) Reset() {
+	bp.mu.Lock()
 	bp.hits, bp.misses = 0, 0
+	bp.mu.Unlock()
 }
 
 // HitRate returns the fraction of accesses that hit, or 0 before any
 // access.
 func (bp *bufferPool) HitRate() float64 {
-	total := bp.hits + bp.misses
+	bp.mu.Lock()
+	hits, misses := bp.hits, bp.misses
+	bp.mu.Unlock()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(bp.hits) / float64(total)
+	return float64(hits) / float64(total)
 }

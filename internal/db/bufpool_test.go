@@ -1,6 +1,60 @@
 package db
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
+
+// TestBufferPoolConcurrentReset is a -race regression test: Reset and
+// HitRate are reachable from harness reporting paths that do not hold
+// the store-level lock, so the pool must synchronize internally. Before
+// the pool carried its own mutex, a Reset racing an Access could tear
+// the counters and an Invalidate racing an Access could unlink the same
+// LRU entry twice — returning one page slot to the list's head and tail
+// at once.
+func TestBufferPoolConcurrentReset(t *testing.T) {
+	bp := newBufferPool(8)
+	var wg sync.WaitGroup
+	const iters = 2000
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			bp.Access(PageID(i % 16))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			bp.Reset()
+			_ = bp.HitRate()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			bp.Invalidate(PageID(i % 16))
+		}
+	}()
+	wg.Wait()
+	// The list must still be consistent: every resident page reachable
+	// exactly once from the head, tail agreeing with the walk.
+	seen := map[PageID]bool{}
+	var last *poolEntry
+	for e := bp.head; e != nil; e = e.next {
+		if seen[e.id] {
+			t.Fatalf("page %d linked twice", e.id)
+		}
+		seen[e.id] = true
+		last = e
+	}
+	if len(seen) != len(bp.entries) {
+		t.Fatalf("LRU walk saw %d entries, index holds %d", len(seen), len(bp.entries))
+	}
+	if bp.tail != last {
+		t.Fatal("tail does not terminate the LRU list")
+	}
+}
 
 // TestBufferPoolResetSeparatesPhases pins the phase-separation
 // contract: Reset zeroes the counters but keeps pages resident, so a

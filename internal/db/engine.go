@@ -119,6 +119,16 @@ type Database struct {
 
 	inflight *txn
 
+	// runScratch backs GetRange's page-run coalescing and chunkScratch
+	// writeChunk's page accumulation. The engine is single-threaded, so
+	// one buffer each serves every operation without a fresh alloc;
+	// txnScratch and savedRowScratch likewise back begin's per-op
+	// transaction state.
+	runScratch      []PageRun
+	chunkScratch    []PageID
+	txnScratch      txn
+	savedRowScratch row
+
 	statPuts, statGets, statDeletes, statReplaces, statCompacts int64
 }
 
@@ -243,12 +253,16 @@ func (d *Database) EndGroup() {
 	}
 }
 
-// begin opens the implicit transaction for one engine operation.
+// begin opens the implicit transaction for one engine operation. The
+// engine runs one operation at a time, so a single txn struct (and its
+// allocated-pages buffer) is reused across operations; abort copies the
+// saved row out before reinstalling it, so the scratch row is safe too.
 func (d *Database) begin(key string) *txn {
-	t := &txn{key: key}
+	t := &d.txnScratch
+	*t = txn{key: key, allocated: t.allocated[:0]}
 	if old, ok := d.rows[key]; ok {
-		saved := *old
-		t.savedRow = &saved
+		d.savedRowScratch = *old
+		t.savedRow = &d.savedRowScratch
 		t.hadRow = true
 	}
 	d.inflight = t
@@ -293,14 +307,15 @@ func (d *Database) FlushGhosts() {
 }
 
 // writeChunk allocates and writes one client write request's pages,
-// returning the data pages added.
+// returning the data pages added. The returned slice is scratch-backed
+// and valid only until the next writeChunk; both callers append-copy it.
 func (d *Database) writeChunk(t *txn, tag uint32, chunk int64, seq *int64) ([]PageID, error) {
 	pageCount := units.CeilDiv(chunk, PageSize)
 	runs, ok := d.alloc.AllocRequest(pageCount)
 	if !ok {
 		return nil, fmt.Errorf("%w: need %d pages, %d free", ErrNoSpace, pageCount, d.alloc.FreePages())
 	}
-	var pages []PageID
+	pages := d.chunkScratch[:0]
 	for _, r := range runs {
 		cr := d.clusterRun(r)
 		d.data.WriteRun(cr, tag, *seq, nil)
@@ -313,6 +328,9 @@ func (d *Database) writeChunk(t *txn, tag uint32, chunk int64, seq *int64) ([]Pa
 	d.data.ChargeCPU(d.cfg.PageCPUUs * float64(pageCount))
 	if d.cfg.FullLogging {
 		d.logAppend(pageCount * PageSize)
+	}
+	if pages != nil {
+		d.chunkScratch = pages
 	}
 	return pages, nil
 }
@@ -381,7 +399,13 @@ func (d *Database) write(key string, size int64, data []byte, replace bool) erro
 	if req < 0 || req > size {
 		req = size
 	}
-	var dataPages, nodePages []PageID
+	// dataPages is retained by the row, so it must be freshly owned —
+	// but its final length is known up front (each chunk takes
+	// CeilDiv(chunk, PageSize) pages), so size it once instead of
+	// paying append-growth reallocations per operation.
+	chunks := units.CeilDiv(size, req)
+	dataPages := make([]PageID, 0, units.CeilDiv(size, PageSize)+chunks)
+	var nodePages []PageID
 	var seq int64
 	for remaining := size; remaining > 0; {
 		chunk := min(req, remaining)
@@ -493,7 +517,10 @@ func (d *Database) GetRange(key string, off, length int64) ([]byte, error) {
 		lastP = last
 	}
 	touched := r.pages[firstP : lastP+1]
-	runs := CoalescePageRuns(touched)
+	runs := coalescePageRunsInto(d.runScratch[:0], touched)
+	if runs != nil {
+		d.runScratch = runs
+	}
 	for _, pr := range runs {
 		d.data.ReadRun(d.clusterRun(pr))
 	}
@@ -505,6 +532,18 @@ func (d *Database) GetRange(key string, off, length int64) ([]byte, error) {
 		return out, nil
 	}
 	return nil, nil
+}
+
+// Has reports whether key exists: Stat's row probe — including its CPU
+// charge on a hit — without constructing a not-found error on a miss.
+// The store's create path probes a miss once per operation, and a
+// discarded fmt.Errorf there is measurable at hundreds of streams.
+func (d *Database) Has(key string) bool {
+	if _, ok := d.rows[key]; !ok {
+		return false
+	}
+	d.data.ChargeCPU(d.cfg.RowCPUUs)
+	return true
 }
 
 // Stat returns an object's size.

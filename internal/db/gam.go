@@ -30,6 +30,17 @@ type Allocator struct {
 	pfs *btree.Map[int64, uint8]
 	// cursor is the extent where the next scan begins.
 	cursor int64
+
+	// reqPages/reqRuns back AllocRequest and pagePages/pageRuns back
+	// AllocPages: the allocator is called a few times per operation on a
+	// single-threaded engine, so reusing the accumulation buffers
+	// removes two allocs per call. Each returned run slice is valid only
+	// until that method's next call; the two methods keep separate
+	// buffers because AllocRequest's tail calls AllocPages.
+	reqPages  []PageID
+	reqRuns   []PageRun
+	pagePages []PageID
+	pageRuns  []PageRun
 	// mixed is the extent currently feeding page-granular allocations
 	// (the mixed-extent pool); -1 when none.
 	mixed int64
@@ -167,7 +178,7 @@ func (a *Allocator) AllocPages(n int64) ([]PageRun, bool) {
 	if a.freePages < n {
 		return nil, false
 	}
-	var pages []PageID
+	pages := a.pagePages[:0]
 	remaining := n
 	for remaining > 0 {
 		// Drain the current mixed extent.
@@ -203,7 +214,12 @@ func (a *Allocator) AllocPages(n int64) ([]PageRun, bool) {
 		}
 		a.mixed = pe
 	}
-	return CoalescePageRuns(pages), true
+	a.pagePages = pages
+	out := coalescePageRunsInto(a.pageRuns[:0], pages)
+	if out != nil {
+		a.pageRuns = out
+	}
+	return out, true
 }
 
 // AllocRequest allocates n pages as one client write request, with SQL
@@ -221,7 +237,7 @@ func (a *Allocator) AllocRequest(n int64) ([]PageRun, bool) {
 	if a.freePages < n {
 		return nil, false
 	}
-	var pages []PageID
+	pages := a.reqPages[:0]
 	remaining := n
 	for remaining >= PagesPerExtent {
 		e := a.nextFreeExtent()
@@ -246,7 +262,12 @@ func (a *Allocator) AllocRequest(n int64) ([]PageRun, bool) {
 			}
 		}
 	}
-	return CoalescePageRuns(pages), true
+	a.reqPages = pages
+	out := coalescePageRunsInto(a.reqRuns[:0], pages)
+	if out != nil {
+		a.reqRuns = out
+	}
+	return out, true
 }
 
 // FreePage returns one page to the pool, promoting its extent back to the

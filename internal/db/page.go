@@ -67,7 +67,12 @@ func (r PageRun) String() string { return fmt.Sprintf("pages[%d,+%d)", r.Start, 
 // page sequence of an object; the output length is the object's fragment
 // count as the paper's marker tool would measure it.
 func CoalescePageRuns(pages []PageID) []PageRun {
-	var out []PageRun
+	return coalescePageRunsInto(nil, pages)
+}
+
+// coalescePageRunsInto coalesces into out (reusing its capacity), for
+// hot paths that hold a scratch buffer.
+func coalescePageRunsInto(out []PageRun, pages []PageID) []PageRun {
 	for _, p := range pages {
 		if n := len(out); n > 0 && out[n-1].End() == p {
 			out[n-1].Len++

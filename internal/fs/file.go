@@ -94,13 +94,26 @@ func (f *File) appendRuns(runs []extent.Run) {
 }
 
 // Create makes a new empty file open for appends. It charges the create
-// CPU cost and an MFT record write.
+// CPU cost and an MFT record write. File structs are recycled from the
+// volume's free list — every safe write creates and deletes a temp
+// file, and at high stream counts the struct plus its extent list were
+// a measurable slice of total allocations. A recycled File always
+// carries a fresh tag, so stale handles to the dead File it once was
+// cannot mistake it for their pinned version.
 func (v *Volume) Create(name string) (*File, error) {
 	if _, ok := v.files[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrExist, name)
 	}
 	v.drive.ChargeCPU(v.cfg.CreateCPUUs)
-	f := &File{vol: v, name: name, tag: v.nextTag, open: true}
+	var f *File
+	if n := len(v.filePool); n > 0 {
+		f = v.filePool[n-1]
+		v.filePool[n-1] = nil
+		v.filePool = v.filePool[:n-1]
+		*f = File{vol: v, name: name, tag: v.nextTag, open: true, runs: f.runs[:0]}
+	} else {
+		f = &File{vol: v, name: name, tag: v.nextTag, open: true}
+	}
 	v.nextTag++
 	v.files[name] = f
 	v.metadataWrite(f.tag)
@@ -162,7 +175,9 @@ func (f *File) appendAllocated(n int64, data []byte) error {
 		if f.sizeHint > newSize && f.allocated == 0 {
 			want = units.CeilDiv(f.sizeHint, cs)
 		}
-		runs, err := v.rc.AllocAppend(want, f.tailCluster())
+		// Scratch-backed allocation: the runs are copied into the extent
+		// list below and never retained.
+		runs, err := v.rc.AllocAppendScratch(want, f.tailCluster())
 		if err != nil {
 			return fmt.Errorf("%w: appending %d bytes to %s", ErrNoSpace, n, f.name)
 		}
@@ -317,11 +332,26 @@ func (v *Volume) Delete(name string) error {
 	v.indexShrink()
 	v.statDeletes++
 	v.noteMetadataOp()
-	f.runs = nil
+	// Retire the struct to the free list, keeping the extent list's
+	// capacity. The dead File keeps open=false and its (now unmapped)
+	// tag until reuse, so a stale handle still fails validation.
+	f.runs = f.runs[:0]
 	f.allocated = 0
 	f.open = false
+	f.size = 0
+	f.buffered = 0
+	f.sizeHint = 0
+	f.delayedData = nil
+	f.pack = nil
+	f.packOff = 0
+	if len(v.filePool) < maxFilePool {
+		v.filePool = append(v.filePool, f)
+	}
 	return nil
 }
+
+// maxFilePool bounds the volume's recycled-File free list.
+const maxFilePool = 1024
 
 // Rename atomically renames oldName to newName, replacing any existing
 // file at newName (the ReplaceFile/rename(2) semantics safe writes rely

@@ -22,7 +22,7 @@ package fs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/alloc"
 	"repro/internal/blob"
@@ -125,6 +125,9 @@ type Volume struct {
 	batchDepth     int
 	pendingMeta    []int64 // MFT clusters awaiting their batched write
 	pendingMetaSet map[int64]struct{}
+
+	// filePool recycles File structs freed by Delete (see Create).
+	filePool []*File
 
 	// indexBufs holds directory index-allocation buffers. NTFS stores
 	// large directory B-trees in INDEX_ALLOCATION buffers taken from the
@@ -275,7 +278,7 @@ func (v *Volume) EndBatch() {
 		return
 	}
 	if len(v.pendingMeta) > 0 {
-		sort.Slice(v.pendingMeta, func(i, j int) bool { return v.pendingMeta[i] < v.pendingMeta[j] })
+		slices.Sort(v.pendingMeta)
 		run := extent.Run{Start: v.pendingMeta[0], Len: 1}
 		for _, c := range v.pendingMeta[1:] {
 			if c == run.End() {
@@ -288,8 +291,13 @@ func (v *Volume) EndBatch() {
 		}
 		v.statMetaWrite++
 		v.drive.WriteRun(run, 0, 0, nil)
+		// Drop only the touched entries: clear() pays for the map's
+		// historical capacity on every batch, which at high stream counts
+		// turns the group force into an O(peak batch) map sweep.
+		for _, c := range v.pendingMeta {
+			delete(v.pendingMetaSet, c)
+		}
 		v.pendingMeta = v.pendingMeta[:0]
-		clear(v.pendingMetaSet)
 	}
 	if v.opsSinceFlush >= v.cfg.LogFlushOps {
 		v.FlushLog()
@@ -300,7 +308,7 @@ func (v *Volume) EndBatch() {
 // No disk time is charged: index buffers live in the cache and reach disk
 // through the lazy writer, amortized into the periodic log flush.
 func (v *Volume) indexGrow() {
-	runs, err := v.rc.AllocAppend(1, -1)
+	runs, err := v.rc.AllocAppendScratch(1, -1)
 	if err != nil {
 		return // directory reuses a cached buffer under pressure
 	}

@@ -164,19 +164,52 @@ func (r RunResult) Total() Counts {
 	return t
 }
 
+// MaxStreams bounds the stream count one Run accepts. The limit is
+// deliberately independent of NumCPU — k is a workload parameter (how
+// many writers interleave in the simulation), not a parallelism hint —
+// and exists only to catch a garbage k before it allocates a goroutine
+// fleet.
+const MaxStreams = 4096
+
+// trackerOps is what execOp needs from the storage-age accounting: the
+// shared tracker itself (k=1, inline) or one stream's private view.
+type trackerOps interface {
+	Put(ctx context.Context, key string, size int64, data []byte) error
+	Replace(ctx context.Context, key string, size int64, data []byte) error
+	Delete(ctx context.Context, key string) error
+}
+
 // Run drives every stream to exhaustion (or error) concurrently and
 // returns the per-stream accounting. A failing stream does not cancel
 // its siblings — they run to their own completion, as k independent
 // writers would — and all stream errors are joined. Partial counts are
 // returned even on error.
+//
+// A stream count outside [1, MaxStreams] is refused with an error
+// wrapping blob.ErrBadOption.
+//
+// With k > 1 each stream charges the tracker through its own
+// core.StreamView (goroutine-local committed-size map, shared atomic
+// byte counters), merged back into the tracker when the phase ends —
+// including on error, so partial accounting stays visible. One stream
+// runs inline against the plain tracker: a k=1 phase is byte-for-byte
+// the classic sequential workload.
 func (e *Executor) Run(streams []Stream, opts RunOptions) (RunResult, error) {
+	if len(streams) < 1 {
+		return RunResult{}, fmt.Errorf("workload: %d streams (want at least 1): %w",
+			len(streams), blob.ErrBadOption)
+	}
+	if len(streams) > MaxStreams {
+		return RunResult{}, fmt.Errorf("workload: %d streams exceeds MaxStreams %d: %w",
+			len(streams), MaxStreams, blob.ErrBadOption)
+	}
 	res := RunResult{Streams: make([]Counts, len(streams))}
 	w := vclock.StartWatch(e.Store().Clock())
 	var err error
 	if len(streams) == 1 {
 		// One stream runs inline: no goroutine between the caller and
 		// the classic sequential workload.
-		err = e.runStream(0, streams[0], opts, &res.Streams[0])
+		err = e.runStream(0, streams[0], opts, &res.Streams[0], e.tracker)
 	} else {
 		errs := make([]error, len(streams))
 		var wg sync.WaitGroup
@@ -184,7 +217,9 @@ func (e *Executor) Run(streams []Stream, opts RunOptions) (RunResult, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				errs[i] = e.runStream(i, streams[i], opts, &res.Streams[i])
+				view := e.tracker.StreamView()
+				defer view.Merge()
+				errs[i] = e.runStream(i, streams[i], opts, &res.Streams[i], view)
 			}(i)
 		}
 		wg.Wait()
@@ -195,7 +230,7 @@ func (e *Executor) Run(streams []Stream, opts RunOptions) (RunResult, error) {
 }
 
 // runStream drains one source, executing each op against the store.
-func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts) error {
+func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts, acct trackerOps) error {
 	src := st.Source
 	obs, observes := src.(SourceObserver)
 	consecutiveSkips := 0
@@ -217,7 +252,7 @@ func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts) erro
 			opWatch = vclock.StartWatch(e.Store().Clock())
 		}
 		opCtx, tr := e.collector.StartOp(e.ctx, id, op.Kind.String(), op.Key)
-		err := e.execOp(opCtx, op, c)
+		err := e.execOp(opCtx, op, c, acct)
 		e.collector.FinishOp(tr, err)
 		if observes {
 			obs.Observe(op, err)
@@ -244,23 +279,25 @@ func (e *Executor) runStream(id int, st Stream, opts RunOptions, c *Counts) erro
 
 // execOp executes one op, charging c only on success. ctx carries the
 // op's trace (when a collector is installed) so obs-wrapped layers of
-// the store chain can attribute their spans to it.
-func (e *Executor) execOp(ctx context.Context, op Op, c *Counts) error {
+// the store chain can attribute their spans to it. Mutations charge
+// storage age through acct — the stream's tracker view under
+// concurrency, the shared tracker when running inline.
+func (e *Executor) execOp(ctx context.Context, op Op, c *Counts, acct trackerOps) error {
 	switch op.Kind {
 	case OpCreate:
-		if err := e.tracker.Put(ctx, op.Key, op.Size, nil); err != nil {
+		if err := acct.Put(ctx, op.Key, op.Size, nil); err != nil {
 			return err
 		}
 		c.Creates++
 		c.BytesWritten += op.Size
 	case OpReplace:
-		if err := e.tracker.Replace(ctx, op.Key, op.Size, nil); err != nil {
+		if err := acct.Replace(ctx, op.Key, op.Size, nil); err != nil {
 			return err
 		}
 		c.Replaces++
 		c.BytesWritten += op.Size
 	case OpDelete:
-		if err := e.tracker.Delete(ctx, op.Key); err != nil {
+		if err := acct.Delete(ctx, op.Key); err != nil {
 			return err
 		}
 		c.Deletes++

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Check the k=256 executor-stream benchmark against an alloc budget.
+
+Reads `go test -bench BenchmarkExecutorStreams/k=256 -benchmem` output on
+stdin and fails when heap allocations per *executed operation* exceed the
+budget given as argv[1]. The benchmark reports allocs/op per benchmark
+iteration (one whole bulk-load + churn arm, ~90k ops), so the per-op
+figure is derived from its ns/op and ns/op-executed metrics.
+"""
+import re
+import sys
+
+
+def main() -> int:
+    budget = float(sys.argv[1])
+    for line in sys.stdin:
+        if "BenchmarkExecutorStreams/k=256" not in line:
+            continue
+        metrics = {unit: float(val) for val, unit in re.findall(r"([\d.e+]+)\s+(\S+)", line)}
+        try:
+            executed = metrics["ns/op"] / metrics["ns/op-executed"]
+            per_op = metrics["allocs/op"] / executed
+        except (KeyError, ZeroDivisionError) as e:
+            print(f"check_alloc_budget: metrics missing from bench line: {e}", file=sys.stderr)
+            return 1
+        print(f"k=256: {per_op:.2f} allocs per executed op (budget {budget})")
+        if per_op > budget:
+            print(f"check_alloc_budget: FAIL: {per_op:.2f} > {budget}", file=sys.stderr)
+            return 1
+        return 0
+    print("check_alloc_budget: no k=256 bench line found on stdin", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
