@@ -1,0 +1,94 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// parseOne parses src as a single file and returns it with its fileset.
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// lineStart returns a Pos on the given 1-based line of the sole file.
+func lineStart(fset *token.FileSet, files []*ast.File, line int) token.Pos {
+	return fset.File(files[0].Pos()).LineStart(line)
+}
+
+func TestFilterSuppressesOnSameAndPreviousLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//fragvet:ignore demo reason above
+var a = 1
+var b = 2 //fragvet:ignore demo reason inline
+
+var c = 3
+`)
+	diags := []analysis.Diagnostic{
+		{Pos: lineStart(fset, files, 4), Analyzer: "demo", Message: "finding on a"},
+		{Pos: lineStart(fset, files, 5), Analyzer: "demo", Message: "finding on b"},
+		{Pos: lineStart(fset, files, 7), Analyzer: "demo", Message: "finding on c"},
+	}
+	got := analysis.Filter(fset, files, diags)
+	if len(got) != 1 || got[0].Message != "finding on c" {
+		t.Fatalf("Filter kept %v, want only the unsuppressed finding on c", got)
+	}
+}
+
+func TestFilterFlagsMalformedAndStaleIgnores(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//fragvet:ignore demo
+var a = 1
+
+//fragvet:ignore demo nothing here to suppress
+var b = 2
+`)
+	got := analysis.Filter(fset, files, nil)
+	if len(got) != 2 {
+		t.Fatalf("Filter returned %d diagnostics, want 2 (malformed + stale): %v", len(got), got)
+	}
+	var sawMalformed, sawStale bool
+	for _, d := range got {
+		if d.Analyzer != analysis.IgnoreName {
+			t.Errorf("machinery diagnostic attributed to %q, want %q", d.Analyzer, analysis.IgnoreName)
+		}
+		if strings.Contains(d.Message, "malformed") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "stale") {
+			sawStale = true
+		}
+	}
+	if !sawMalformed || !sawStale {
+		t.Fatalf("want one malformed and one stale diagnostic, got %v", got)
+	}
+}
+
+func TestFilterIgnoreDoesNotCrossAnalyzers(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//fragvet:ignore other justified elsewhere
+var a = 1
+`)
+	diags := []analysis.Diagnostic{
+		{Pos: lineStart(fset, files, 4), Analyzer: "demo", Message: "finding on a"},
+	}
+	got := analysis.Filter(fset, files, diags)
+	// The demo finding survives (wrong analyzer name) and the ignore is
+	// stale, so both come back.
+	if len(got) != 2 {
+		t.Fatalf("Filter returned %d diagnostics, want 2 (finding + stale ignore): %v", len(got), got)
+	}
+}

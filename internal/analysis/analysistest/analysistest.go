@@ -1,0 +1,211 @@
+// Package analysistest runs fragvet analyzers over fixture packages —
+// a stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go. Expected findings
+// are marked with trailing comments of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on the flagged line. Every diagnostic must be matched by a want on
+// its line and every want must match a diagnostic, so fixtures pin
+// both true positives and true negatives. //fragvet:ignore directives
+// are honored exactly as in production (including the stale-ignore and
+// missing-reason machinery diagnostics, which can themselves be
+// want-ed), so each analyzer's ignore path is testable.
+//
+// Fixture imports resolve inside testdata/src first (so fixtures can
+// model the blob package with a miniature ".../blob"), then fall back
+// to the standard library, type-checked from source — the environment
+// ships no compiled stdlib export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package at <testdata>/src/<pkgpath>, applies a,
+// and compares the (ignore-filtered) diagnostics against the // want
+// expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		root:    filepath.Join(testdata, "src"),
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  map[string]*loadedPkg{},
+		loading: map[string]bool{},
+	}
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(&analysis.Package{
+		Fset:  fset,
+		Files: pkg.files,
+		Types: pkg.types,
+		Info:  pkg.info,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkgpath, err)
+	}
+	check(t, fset, pkg.files, diags)
+}
+
+// loadedPkg is one parsed+type-checked fixture package.
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture-local imports under root, stdlib from source.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	std     types.Importer
+	loaded  map[string]*loadedPkg
+	loading map[string]bool
+}
+
+// Import implements types.Importer over the fixture tree + stdlib.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := filepath.Join(ld.root, path); dirExists(dir) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &loadedPkg{files: files, types: tpkg, info: info}
+	ld.loaded[path] = p
+	return p, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// wantArgRE matches one expectation pattern, double-quoted or
+// backquoted; both carry a regexp, backquotes just avoid escaping.
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// check compares diagnostics against the fixtures' // want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantArgRE.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package ctxflow enforces context threading through the op chain:
+// every store operation takes a context.Context, and a layer that
+// mints context.Background()/context.TODO() while a caller's context
+// is in scope silently severs cancellation — the conformance suite's
+// mid-stream cancel test passes at the layer that checks ctx, while
+// the layer below keeps charging virtual time for an op the caller
+// abandoned.
+//
+// Two rules, scoped to internal/ packages:
+//
+//  1. A function (or closure) with a context.Context parameter in
+//     scope must not call context.Background() or context.TODO() —
+//     that drops the caller's context mid-chain. Roots (cmd/, tests,
+//     harness entry points without a ctx parameter) are unaffected.
+//  2. A call must not pass a nil literal as a context.Context
+//     argument.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/TODO() minted while a caller's " +
+		"context is in scope, and nil contexts passed to ops",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InternalSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkScope(pass, n.Type, n.Body, false)
+				}
+				return false // checkScope recurses into closures itself
+			case *ast.CallExpr:
+				checkNilCtxArg(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether ft declares a context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkScope walks one function body. ctxInScope carries whether an
+// enclosing function already has a Context parameter; closures inherit
+// it lexically.
+func checkScope(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt, enclosing bool) {
+	inScope := enclosing || hasCtxParam(pass, ft)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkScope(pass, n.Type, n.Body, inScope)
+			return false
+		case *ast.CallExpr:
+			checkNilCtxArg(pass, n)
+			if !inScope {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				pass.Reportf(n.Pos(),
+					"context.%s() minted while a caller's context is in scope: thread the caller's ctx so cancellation reaches every layer",
+					fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkNilCtxArg flags a nil literal passed where the callee declares
+// a context.Context parameter.
+func checkNilCtxArg(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || id.Name != "nil" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("nil") {
+			continue
+		}
+		if isContextType(sig.Params().At(i).Type()) {
+			pass.Reportf(arg.Pos(),
+				"nil passed as context.Context: pass the caller's ctx (or context.Background() at a true root)")
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the ctxflow analyzer: contexts minted
+// mid-chain while a caller's context is in scope, nil contexts, roots
+// that legitimately mint, and a justified suppression.
+package fixture
+
+import "context"
+
+func op(ctx context.Context, n int) {}
+
+func midChain(ctx context.Context) {
+	op(context.Background(), 1) // want `context\.Background\(\) minted while a caller's context is in scope`
+}
+
+func root() {
+	op(context.Background(), 1) // roots without a ctx parameter may mint
+}
+
+func nilArg() {
+	op(nil, 1) // want `nil passed as context\.Context`
+}
+
+func closureInherits(ctx context.Context) {
+	f := func() {
+		op(context.TODO(), 2) // want `context\.TODO\(\) minted while a caller's context is in scope`
+	}
+	f()
+}
+
+func threaded(ctx context.Context) {
+	op(ctx, 3)
+}
+
+func suppressed(ctx context.Context) {
+	//fragvet:ignore ctxflow fixture pins the suppression path
+	op(context.Background(), 4)
+}

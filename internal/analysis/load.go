@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file is fragvet's standalone package loader: a minimal
+// stdlib-only stand-in for golang.org/x/tools/go/packages. It shells
+// out to `go list -export -deps` so the toolchain compiles export data
+// for every dependency (standard library included — the environment
+// ships no precompiled stdlib), then parses and type-checks the target
+// packages from source against that export data.
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load type-checks the packages matching patterns (go list syntax)
+// under dir and returns them ready for analysis. Test files are not
+// loaded; fragvet checks shipped code.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	byPath := make(map[string]*listPkg, len(deps))
+	for _, p := range deps {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fragvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, t := range targets {
+		p := byPath[t.ImportPath]
+		if p == nil {
+			p = t
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("fragvet: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("fragvet: type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	return out, nil
+}
+
+// goList runs `go list -json <args>` in dir and decodes the package
+// stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("fragvet: go list: %w\n%s", err, stderr.String())
+	}
+	var out []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("fragvet: decoding go list output: %w", err)
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}

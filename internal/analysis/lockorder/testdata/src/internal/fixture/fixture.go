@@ -1,0 +1,47 @@
+// Package fixture exercises the lockorder analyzer: the group-commit
+// force reached while a KeyLocks stripe is held (directly, through
+// Writer.Commit, and through a same-package helper), the safe
+// unlock-first ordering, and a justified suppression.
+package fixture
+
+import "blob"
+
+type engine struct {
+	locks *blob.KeyLocks
+	gc    *blob.GroupCommitter
+}
+
+func forceUnderLock(e *engine, key string) error {
+	e.locks.Lock(key)
+	defer e.locks.Unlock(key)
+	return e.gc.Do(func() error { return nil }) // want `group-commit force reached while a KeyLocks stripe is held`
+}
+
+func commitUnderLock(e *engine, w blob.Writer, key string) error {
+	e.locks.Lock(key)
+	defer e.locks.Unlock(key)
+	return w.Commit() // want `group-commit force reached while a KeyLocks stripe is held`
+}
+
+func unlockFirst(e *engine, key string) error {
+	e.locks.Lock(key)
+	e.locks.Unlock(key)
+	return e.gc.Do(func() error { return nil })
+}
+
+func helperForce(e *engine) {
+	_ = e.gc.Do(func() error { return nil })
+}
+
+func transitive(e *engine, key string) {
+	e.locks.RLock(key)
+	helperForce(e) // want `call to helperForce while a KeyLocks stripe is held`
+	e.locks.RUnlock(key)
+}
+
+func suppressed(e *engine, key string) error {
+	e.locks.Lock(key)
+	defer e.locks.Unlock(key)
+	//fragvet:ignore lockorder fixture pins the suppression path
+	return e.gc.Do(func() error { return nil })
+}

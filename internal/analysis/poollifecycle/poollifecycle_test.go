@@ -1,0 +1,12 @@
+package poollifecycle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poollifecycle"
+)
+
+func TestPoolLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", poollifecycle.Analyzer, "internal/fixture")
+}

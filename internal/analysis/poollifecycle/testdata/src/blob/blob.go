@@ -1,0 +1,16 @@
+// Package blob is a miniature stand-in for the repo's internal/blob:
+// just enough surface (handle interfaces) for the poollifecycle
+// fixtures to type-check.
+package blob
+
+type Reader interface {
+	Size() int64
+	ReadAll() ([]byte, error)
+	Close() error
+}
+
+type Writer interface {
+	Append(n int64, data []byte) error
+	Commit() error
+	Abort() error
+}

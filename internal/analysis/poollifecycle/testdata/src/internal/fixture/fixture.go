@@ -1,0 +1,81 @@
+// Package fixture exercises the poollifecycle analyzer: leaked pooled
+// handles, use after release, the Abort-after-failed-Commit recovery
+// path, escapes, and a justified suppression.
+package fixture
+
+import (
+	"context"
+
+	"blob"
+)
+
+type store struct{}
+
+func (s *store) Open(ctx context.Context, key string) (blob.Reader, error) { return nil, nil }
+
+func (s *store) Create(ctx context.Context, key string, size int64) (blob.Writer, error) {
+	return nil, nil
+}
+
+func leakReader(ctx context.Context, s *store) int64 {
+	r, err := s.Open(ctx, "k") // want `pooled reader handle from Open is never Closed`
+	if err != nil {
+		return 0
+	}
+	return r.Size()
+}
+
+func leakWriter(ctx context.Context, s *store) {
+	w, err := s.Create(ctx, "k", 8) // want `pooled writer handle from Create is never Committed or Aborted`
+	if err != nil {
+		return
+	}
+	_ = w.Append(8, nil)
+}
+
+func goodDefer(ctx context.Context, s *store) ([]byte, error) {
+	r, err := s.Open(ctx, "k")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.ReadAll()
+}
+
+func useAfterClose(ctx context.Context, s *store) int64 {
+	r, err := s.Open(ctx, "k")
+	if err != nil {
+		return 0
+	}
+	r.Close()
+	return r.Size() // want `use of pooled reader handle after Close released it to the pool`
+}
+
+func commitRecovery(ctx context.Context, s *store) error {
+	w, err := s.Create(ctx, "k", 8)
+	if err != nil {
+		return err
+	}
+	if err := w.Commit(); err != nil {
+		return w.Abort() // cleanup after a failed Commit is the contract
+	}
+	return nil
+}
+
+func escapes(ctx context.Context, s *store) (blob.Reader, error) {
+	r, err := s.Open(ctx, "k")
+	if err != nil {
+		return nil, err
+	}
+	return r, nil // escaping handles are the caller's to close
+}
+
+func suppressed(ctx context.Context, s *store) int64 {
+	r, err := s.Open(ctx, "k")
+	if err != nil {
+		return 0
+	}
+	r.Close()
+	//fragvet:ignore poollifecycle fixture pins the suppression path
+	return r.Size()
+}

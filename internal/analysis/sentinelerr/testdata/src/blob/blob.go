@@ -1,0 +1,29 @@
+// Package blob is a miniature stand-in for the repo's internal/blob:
+// just enough surface (sentinels + boundary interfaces) for the
+// sentinelerr fixtures to type-check.
+package blob
+
+import "errors"
+
+var (
+	ErrNotFound = errors.New("blob: object not found")
+	ErrClosed   = errors.New("blob: handle closed")
+	ErrBusy     = errors.New("blob: object busy")
+)
+
+type Reader interface {
+	Size() int64
+	ReadAll() ([]byte, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Close() error
+}
+
+type Writer interface {
+	Append(n int64, data []byte) error
+	Commit() error
+	Abort() error
+}
+
+type Store interface {
+	Name() string
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the sentinelerr analyzer: unwrapped errors
+// returned from blob-boundary methods and constructors, properly
+// wrapped sentinels, out-of-scope helpers, and a justified suppression.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"blob"
+)
+
+// reader implements blob.Reader, so its interface methods are boundary
+// functions.
+type reader struct{ closed bool }
+
+func (r *reader) Size() int64 { return 0 }
+
+func (r *reader) ReadAll() ([]byte, error) {
+	return nil, errors.New("boom") // want `unwrapped error escapes the blob\.Store boundary`
+}
+
+func (r *reader) ReadAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("short read at %d: %w", off, blob.ErrClosed)
+}
+
+func (r *reader) Close() error {
+	err := fmt.Errorf("close failed") // want `unwrapped error escapes the blob\.Store boundary`
+	return err
+}
+
+// open returns a boundary interface, so it is in scope too.
+func open(key string) (blob.Reader, error) {
+	if key == "" {
+		//fragvet:ignore sentinelerr fixture pins the suppression path
+		return nil, fmt.Errorf("empty key")
+	}
+	return nil, fmt.Errorf("open %q: %w", key, blob.ErrNotFound)
+}
+
+// helper is a plain error-returning function, out of scope: callers
+// above the boundary may mint their own errors.
+func helper() error {
+	return errors.New("fine here")
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the vclockpurity analyzer: wall-clock time
+// calls in a simulation package, charge* helpers that do or do not
+// advance the virtual clock, and a justified suppression.
+package fixture
+
+import "time"
+
+// clock is a stand-in for vclock.Clock.
+type clock struct{ ns int64 }
+
+func (c *clock) Advance(ns int64) { c.ns += ns }
+
+func bad() int64 {
+	t := time.Now() // want `wall-clock time\.Now in simulation package fixture`
+	return t.UnixNano()
+}
+
+func alsoBad() {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+}
+
+func good(c *clock) {
+	c.Advance(10)
+}
+
+func durationMathIsFine() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func allowed() {
+	//fragvet:ignore vclockpurity fixture models a real scheduling wait between goroutines
+	time.Sleep(time.Microsecond)
+}
+
+func chargeRead(c *clock) {
+	c.Advance(5)
+}
+
+func chargeWrite(c *clock) { // want `charge path chargeWrite returns without advancing a vclock\.Clock`
+	_ = c
+}
+
+func chargeDelete(c *clock) {
+	chargeRead(c)
+}

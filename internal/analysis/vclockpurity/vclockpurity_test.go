@@ -1,0 +1,12 @@
+package vclockpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/vclockpurity"
+)
+
+func TestVclockPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", vclockpurity.Analyzer, "internal/fixture")
+}

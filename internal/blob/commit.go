@@ -314,6 +314,7 @@ func (b *batcher) run(per int) {
 	gc := b.gc
 	var timer *time.Timer
 	if gc.maxDelay > 0 {
+		//fragvet:ignore vclockpurity the batcher's max-delay flush is real scheduling latency between goroutines, not simulated disk time
 		timer = time.NewTimer(gc.maxDelay)
 		stopTimer(timer)
 		defer timer.Stop()

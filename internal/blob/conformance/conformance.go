@@ -84,6 +84,7 @@ func testRoundTrip(t *testing.T, mk Factory) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
+	//fragvet:ignore poollifecycle the conformance suite deliberately reads after Close to pin the ErrClosed contract
 	if _, err := r.ReadAll(); !errors.Is(err, blob.ErrClosed) {
 		t.Fatalf("read after Close = %v, want ErrClosed", err)
 	}
@@ -299,6 +300,7 @@ func testWriterLifecycle(t *testing.T, mk Factory) {
 	if err := w.Commit(); err != nil {
 		t.Fatal(err)
 	}
+	//fragvet:ignore poollifecycle the conformance suite deliberately appends after Commit to pin the ErrClosed contract
 	if err := w.Append(1, nil); !errors.Is(err, blob.ErrClosed) {
 		t.Fatalf("append after commit = %v, want ErrClosed", err)
 	}

@@ -1,0 +1,11 @@
+package blob
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// the group-commit pipeline promises to drain on Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

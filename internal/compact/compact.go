@@ -153,6 +153,7 @@ type Compactor struct {
 	scan  frag.Source // candidate-selection scope (a shard child in a Fleet)
 	clock *vclock.Clock
 	cfg   Config
+	ctx   context.Context // carried into background-loop cycles
 
 	mu        sync.Mutex
 	stats     Stats
@@ -190,12 +191,24 @@ func newScoped(store blob.Store, scan frag.Source, cfg Config) (*Compactor, erro
 		scan:      scan,
 		clock:     store.Clock(),
 		cfg:       cfg.withDefaults(),
+		ctx:       context.Background(),
 		packTried: make(map[string]bool),
 	}
 	if pk, ok := store.(Packer); ok {
 		c.pack = pk
 	}
 	return c, nil
+}
+
+// WithContext sets the context the background loop's rewrites and
+// packs carry, so cancelling it stops in-flight loop work at the next
+// store operation. Call before Start; the default is
+// context.Background().
+func (c *Compactor) WithContext(ctx context.Context) *Compactor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctx = ctx
+	return c
 }
 
 // Stats returns a snapshot of the compactor's counters.
@@ -218,7 +231,7 @@ func (c *Compactor) Start() {
 	c.busyNs = 0
 	c.stop = make(chan struct{})
 	c.done = make(chan struct{})
-	go c.loop(c.stop, c.done)
+	go c.loop(c.ctx, c.stop, c.done)
 }
 
 // Stop halts the background loop and blocks until it drains. Stopping
@@ -273,22 +286,27 @@ func (c *Compactor) CatchUp(ctx context.Context) {
 	}
 }
 
-// loop is the background worker: scan, work, idle, repeat.
-func (c *Compactor) loop(stop, done chan struct{}) {
+// loop is the background worker: scan, work, idle, repeat. It carries
+// the WithContext context into every cycle so cancellation reaches the
+// store operations the loop issues.
+func (c *Compactor) loop(ctx context.Context, stop, done chan struct{}) {
 	defer close(done)
 	for {
 		select {
 		case <-stop:
 			return
+		case <-ctx.Done():
+			return
 		default:
 		}
-		worked := c.cycle(context.Background(), func() bool { return c.gate(stop) })
+		worked := c.cycle(ctx, func() bool { return c.gate(stop) })
 		if !worked {
 			// Nothing to do right now; wait for foreground traffic to
 			// create work (and advance the virtual clock).
 			select {
 			case <-stop:
 				return
+			//fragvet:ignore vclockpurity idle backoff waits on real time for foreground traffic to advance the virtual clock
 			case <-time.After(200 * time.Microsecond):
 			}
 		}
@@ -320,12 +338,15 @@ func (c *Compactor) gate(stop chan struct{}) bool {
 		select {
 		case <-stop:
 			return false
+		//fragvet:ignore vclockpurity the duty gate polls real time because only foreground traffic advances the virtual clock
 		case <-time.After(100 * time.Microsecond):
 		}
 	}
 }
 
 // charge accounts one operation's virtual time as compactor busy time.
+//
+//fragvet:ignore vclockpurity duty-cycle bookkeeping only; the store already advanced the clock during the rewrite being charged
 func (c *Compactor) charge(w vclock.Stopwatch) {
 	ns := w.Nanoseconds()
 	c.mu.Lock()

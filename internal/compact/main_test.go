@@ -1,0 +1,11 @@
+package compact_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// the compactor's background loop promises to drain on Stop.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

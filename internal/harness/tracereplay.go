@@ -151,6 +151,6 @@ func (c Config) newStore(kind string, extra []blob.Option) (blob.Store, error) {
 	case "database":
 		return core.NewDBStore(vclock.New(), opts...)
 	default:
-		return nil, fmt.Errorf("harness: unknown backend %q", kind)
+		return nil, fmt.Errorf("harness: unknown backend %q: %w", kind, blob.ErrBadOption)
 	}
 }

@@ -1,0 +1,59 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeakedDetectsBlockedGoroutine proves the detector sees a
+// deliberately parked goroutine and stops seeing it once released.
+func TestLeakedDetectsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	sees := func() bool {
+		for _, s := range leaked() {
+			if strings.Contains(s, "TestLeakedDetectsBlockedGoroutine") {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for range 200 {
+		if sees() {
+			found = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !found {
+		t.Fatal("leaked() never reported the parked goroutine")
+	}
+
+	close(release)
+	<-done
+	for range 200 {
+		if !sees() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("leaked() still reports the goroutine after it exited")
+}
+
+// TestBenignFiltersDriver pins that the test driver's own stack is not
+// reported as a leak.
+func TestBenignFiltersDriver(t *testing.T) {
+	if !benign("goroutine 1 [chan receive]:\ntesting.(*M).Run(...)") {
+		t.Fatal("the testing driver's goroutine must be benign")
+	}
+	if benign("goroutine 7 [chan receive]:\nrepro/internal/core.(*FileStore).loop(...)") {
+		t.Fatal("an application goroutine must not be benign")
+	}
+}

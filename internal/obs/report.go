@@ -33,7 +33,8 @@ type RunReport struct {
 // time.
 func NewRunReport() *RunReport {
 	return &RunReport{
-		Schema:    ReportSchema,
+		Schema: ReportSchema,
+		//fragvet:ignore vclockpurity the report timestamp records when the run happened in the real world, not simulated time
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 }

@@ -1,0 +1,11 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// executor streams and their stores promise to drain when a phase ends.
+func TestMain(m *testing.M) { leakcheck.Main(m) }
