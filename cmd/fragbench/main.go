@@ -71,6 +71,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s (%s)\n", e.ID, e.Title, e.Paper)
 		}
 	}
+	// Subcommands peel off before experiment-flag parsing.
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		runLoadgen(os.Args[2:])
+		return
+	}
+
 	flag.Parse()
 
 	if *list {

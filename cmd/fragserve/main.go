@@ -1,0 +1,174 @@
+// Command fragserve serves a blob store stack over HTTP — the
+// network front-end for the repo's simulated stores. Any composition
+// the experiments run (file/db core, shard fleet, read cache, group
+// commit) can sit behind the listener; the wire protocol is documented
+// in internal/server/wire.
+//
+// Usage:
+//
+//	fragserve [flags]
+//
+// Examples:
+//
+//	fragserve -addr :8080 -backend file -capacity 4G
+//	fragserve -backend db -mode data -groupcommit
+//	fragserve -backend file -shards 4 -cache 256M
+//	fragserve -maxinflight 128 -maxqueue 256 -queuetimeout 250ms
+//
+// The process runs until SIGINT/SIGTERM, then shuts down gracefully:
+// the listener drains, open sessions are released, and the exit code
+// is 0. /metrics and /report expose wall-clock latency live.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		backend      = flag.String("backend", "file", "store backend: file or db")
+		shards       = flag.Int("shards", 1, "shard count (1 = single volume)")
+		capacity     = flag.String("capacity", "4G", "per-volume capacity")
+		mode         = flag.String("mode", "data", "disk mode: data (payload bytes retained) or meta (metadata only)")
+		groupcommit  = flag.Bool("groupcommit", false, "enable group commit (batch 8, 200µs)")
+		cacheBytes   = flag.String("cache", "", "read-cache capacity above the store (empty = no cache)")
+		maxInflight  = flag.Int("maxinflight", server.DefaultMaxInFlight, "admission: max concurrent store operations")
+		maxQueue     = flag.Int("maxqueue", 2*server.DefaultMaxInFlight, "admission: max queued operations beyond the in-flight limit")
+		queueTimeout = flag.Duration("queuetimeout", time.Second, "admission: max wall time an operation may queue (0 = wait forever)")
+		reqTimeout   = flag.Duration("reqtimeout", 30*time.Second, "per-request deadline (0 = none)")
+		sessionTTL   = flag.Duration("ttl", server.DefaultSessionTTL, "idle TTL before abandoned reader/writer sessions are reaped")
+	)
+	flag.Parse()
+	if err := run(*addr, *backend, *shards, *capacity, *mode, *groupcommit, *cacheBytes, server.Config{
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: *reqTimeout,
+		SessionTTL:     *sessionTTL,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "fragserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, backend string, shards int, capacity, mode string, groupcommit bool, cacheBytes string, cfg server.Config) error {
+	store, err := buildStore(backend, shards, capacity, mode, groupcommit, cacheBytes)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(store, cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fragserve: serving %s on %s\n", store.Name(), addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills hard
+	fmt.Fprintln(os.Stderr, "fragserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// buildStore assembles the served stack: core volumes (sharded when
+// asked), then an optional read cache on top.
+func buildStore(backend string, shards int, capacity, mode string, groupcommit bool, cacheBytes string) (blob.Store, error) {
+	capBytes, err := units.ParseBytes(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("bad -capacity: %w", err)
+	}
+	var opts []blob.Option
+	opts = append(opts, blob.WithCapacity(capBytes))
+	switch mode {
+	case "data":
+		opts = append(opts, blob.WithDiskMode(disk.DataMode))
+	case "meta":
+	default:
+		return nil, fmt.Errorf("%w: bad -mode %q (want data or meta)", blob.ErrBadOption, mode)
+	}
+	if groupcommit {
+		opts = append(opts, blob.WithGroupCommit(8, 200*time.Microsecond))
+	}
+
+	mk := func(clock *vclock.Clock, opts ...blob.Option) (blob.Store, error) {
+		return core.NewFileStore(clock, opts...)
+	}
+	switch backend {
+	case "file":
+	case "db":
+		mk = func(clock *vclock.Clock, opts ...blob.Option) (blob.Store, error) {
+			return core.NewDBStore(clock, opts...)
+		}
+	default:
+		return nil, fmt.Errorf("%w: bad -backend %q (want file or db)", blob.ErrBadOption, backend)
+	}
+
+	clock := vclock.New()
+	var store blob.Store
+	if shards <= 1 {
+		store, err = mk(clock, opts...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		children := make([]blob.Store, shards)
+		for i := range children {
+			children[i], err = mk(clock, opts...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		store, err = shard.New(children...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cacheBytes != "" {
+		n, err := units.ParseBytes(cacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("bad -cache: %w", err)
+		}
+		store, err = cache.New(store, cache.WithCapacity(n))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}

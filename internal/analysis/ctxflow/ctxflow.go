@@ -8,10 +8,16 @@
 //
 // Two rules, scoped to internal/ packages:
 //
-//  1. A function (or closure) with a context.Context parameter in
+//  1. A function (or closure) with a context-bearing parameter in
 //     scope must not call context.Background() or context.TODO() —
-//     that drops the caller's context mid-chain. Roots (cmd/, tests,
-//     harness entry points without a ctx parameter) are unaffected.
+//     that drops the caller's context mid-chain. Context-bearing means
+//     a context.Context, or an *http.Request: an HTTP handler's
+//     legitimate context root is r.Context() (the connection's
+//     lifetime), so minting a fresh background context inside a
+//     handler severs client-disconnect cancellation exactly the way it
+//     does mid-chain. Roots (cmd/, tests, harness entry points without
+//     either parameter) are unaffected, and detaching deliberately
+//     with context.WithoutCancel(r.Context()) stays legal.
 //  2. A call must not pass a nil literal as a context.Context
 //     argument.
 package ctxflow
@@ -52,13 +58,16 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// hasCtxParam reports whether ft declares a context.Context parameter.
+// hasCtxParam reports whether ft declares a context-bearing parameter:
+// a context.Context, or an *http.Request whose Context() method is the
+// handler chain's context root.
 func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
 	if ft.Params == nil {
 		return false
 	}
 	for _, field := range ft.Params.List {
-		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && (isContextType(tv.Type) || isHTTPRequestType(tv.Type)) {
 			return true
 		}
 	}
@@ -86,7 +95,7 @@ func checkScope(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt, encl
 			}
 			if fn.Name() == "Background" || fn.Name() == "TODO" {
 				pass.Reportf(n.Pos(),
-					"context.%s() minted while a caller's context is in scope: thread the caller's ctx so cancellation reaches every layer",
+					"context.%s() minted while a caller's context is in scope: thread the caller's ctx (in an HTTP handler, r.Context()) so cancellation reaches every layer",
 					fn.Name())
 			}
 		}
@@ -118,6 +127,21 @@ func checkNilCtxArg(pass *analysis.Pass, call *ast.CallExpr) {
 				"nil passed as context.Context: pass the caller's ctx (or context.Background() at a true root)")
 		}
 	}
+}
+
+// isHTTPRequestType reports whether t is net/http.Request or a
+// pointer to it.
+func isHTTPRequestType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Request" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // isContextType reports whether t is context.Context.

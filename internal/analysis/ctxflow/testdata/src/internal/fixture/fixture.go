@@ -3,7 +3,10 @@
 // that legitimately mint, and a justified suppression.
 package fixture
 
-import "context"
+import (
+	"context"
+	"net/http"
+)
 
 func op(ctx context.Context, n int) {}
 
@@ -33,4 +36,30 @@ func threaded(ctx context.Context) {
 func suppressed(ctx context.Context) {
 	//fragvet:ignore ctxflow fixture pins the suppression path
 	op(context.Background(), 4)
+}
+
+// HTTP handlers: the request IS the context root — minting a fresh
+// background context inside one severs client-disconnect cancellation.
+
+func handlerMints(w http.ResponseWriter, r *http.Request) {
+	op(context.Background(), 5) // want `context\.Background\(\) minted while a caller's context is in scope`
+}
+
+func handlerThreads(w http.ResponseWriter, r *http.Request) {
+	op(r.Context(), 6) // the request's context is the legitimate root
+}
+
+func handlerClosureInherits(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		op(context.TODO(), 7) // want `context\.TODO\(\) minted while a caller's context is in scope`
+	}()
+}
+
+func handlerDetaches(w http.ResponseWriter, r *http.Request) {
+	// Deliberate detach: sessions outlive their opening request.
+	op(context.WithoutCancel(r.Context()), 8)
+}
+
+func valueRequest(r http.Request) {
+	op(context.Background(), 9) // want `context\.Background\(\) minted while a caller's context is in scope`
 }

@@ -1,0 +1,34 @@
+// Package http is a miniature net/http for ctxflow fixtures: just
+// enough surface (Request with a Context method, ResponseWriter) for
+// handler-shaped fixture functions to type-check. The analyzer matches
+// the package PATH "net/http", so this stand-in exercises the same
+// code path as the real library without type-checking the full stdlib
+// net stack from source.
+package http
+
+import "context"
+
+// Request mirrors net/http.Request's context surface.
+type Request struct {
+	ctx context.Context
+}
+
+// Context mirrors net/http.Request.Context: never nil.
+func (r *Request) Context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// WithContext mirrors net/http.Request.WithContext.
+func (r *Request) WithContext(ctx context.Context) *Request {
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
+}
+
+// ResponseWriter mirrors the method handler fixtures need.
+type ResponseWriter interface {
+	WriteHeader(statusCode int)
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/disk"
@@ -40,6 +41,7 @@ func Run(t *testing.T, mk Factory) {
 		{"AbortPreservesOldVersion", testAbortPreservesOldVersion},
 		{"NoSpace", testNoSpace},
 		{"ContextCancellation", testContextCancellation},
+		{"ContextDeadline", testContextDeadline},
 		{"ConcurrentReaders", testConcurrentReaders},
 		{"ConcurrentWriters", testConcurrentWriters},
 		{"ConcurrentMixedChurn", testConcurrentMixedChurn},
@@ -462,6 +464,103 @@ func testContextCancellation(t *testing.T, mk Factory) {
 	}
 	if info, err := s.Stat(context.Background(), "a"); err != nil || info.Size != 1*units.MB {
 		t.Fatalf("old version damaged after canceled stream: %+v, %v", info, err)
+	}
+}
+
+// testContextDeadline pins deadline behavior: every operation on an
+// expired context returns context.DeadlineExceeded (not Canceled, not
+// a store sentinel), a deadline that expires mid-stream stops the
+// reader and writer cleanly, and the handles release their resources —
+// the key accepts a new writer, the old version is intact, and fresh
+// handles work. The network front-end's per-request deadlines ride
+// exactly this contract.
+func testContextDeadline(t *testing.T, mk Factory) {
+	bg := context.Background()
+	s := mk(blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
+	if err := blob.Put(bg, s, "a", 1*units.MB, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// An already-expired deadline fails every entry point with
+	// DeadlineExceeded. (time.Nanosecond is a constant, not a wall-clock
+	// read; the Done wait is how the expiry is observed.)
+	expired, cancel := context.WithTimeout(bg, time.Nanosecond)
+	defer cancel()
+	<-expired.Done()
+	if _, err := s.Open(expired, "a"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Open with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	if _, err := s.Stat(expired, "a"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Stat with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	if _, err := s.Create(expired, "b", 1*units.MB); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Create with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	if _, err := s.Replace(expired, "a", 1*units.MB); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Replace with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	if err := s.Delete(expired, "a"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Delete with expired ctx = %v, want DeadlineExceeded", err)
+	}
+	// A failed Create must not leave the key locked or half-created.
+	if _, err := s.Stat(bg, "b"); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("expired Create left a visible object: %v", err)
+	}
+
+	// Deadline expires mid-stream: work done before the deadline
+	// succeeds, work after it fails typed, and Abort still cleans up.
+	wctx, wcancel := context.WithTimeout(bg, 250*time.Millisecond)
+	defer wcancel()
+	w, err := s.Replace(wctx, "a", 1*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(256*units.KB, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-wctx.Done()
+	if err := w.Append(256*units.KB, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("append after deadline = %v, want DeadlineExceeded", err)
+	}
+	if err := w.Commit(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("commit after deadline = %v, want DeadlineExceeded", err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The handle is truly gone: the key accepts a new writer and the old
+	// version survived.
+	if err := blob.Replace(bg, s, "a", 1*units.MB, nil); err != nil {
+		t.Fatalf("key still locked after aborted deadline stream: %v", err)
+	}
+	if info, err := s.Stat(bg, "a"); err != nil || info.Size != 1*units.MB {
+		t.Fatalf("old version damaged after deadline stream: %+v, %v", info, err)
+	}
+
+	// Same for a reader: reads before the deadline succeed, reads after
+	// fail typed, Close releases the handle.
+	rctx, rcancel := context.WithTimeout(bg, 250*time.Millisecond)
+	defer rcancel()
+	r, err := s.Open(rctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAt(0, 4*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	<-rctx.Done()
+	if _, err := r.ReadAll(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ReadAll after deadline = %v, want DeadlineExceeded", err)
+	}
+	if _, err := r.ReadAt(0, 4*units.KB); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ReadAt after deadline = %v, want DeadlineExceeded", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh handles on a fresh context are unaffected.
+	if _, _, err := blob.Get(bg, s, "a"); err != nil {
+		t.Fatal(err)
 	}
 }
 

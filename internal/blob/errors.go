@@ -38,6 +38,20 @@ var (
 	// ErrCrashed wraps failures injected by simulated crashes.
 	ErrCrashed = errors.New("blob: simulated crash")
 
+	// ErrOverloaded reports an operation shed by admission control: the
+	// store (or the service in front of it) is at its in-flight limit
+	// and its wait queue is full, so the op was refused immediately
+	// rather than queued without bound. Retry with backoff. Maps to
+	// HTTP 429 Too Many Requests at the network boundary.
+	ErrOverloaded = errors.New("blob: store overloaded, operation shed")
+
+	// ErrUnavailable reports an operation refused because the store is
+	// draining (shutting down) or an admitted op waited longer than the
+	// service's queue budget. Unlike ErrOverloaded the condition is not
+	// necessarily relieved by backoff alone. Maps to HTTP 503 Service
+	// Unavailable at the network boundary.
+	ErrUnavailable = errors.New("blob: store unavailable")
+
 	// ErrBadStripeCount reports a WithLockStripes value that is not a
 	// positive power of two (the stripe hash folds with a mask).
 	ErrBadStripeCount = errors.New("blob: key-lock stripe count must be a positive power of two")

@@ -1,0 +1,103 @@
+package blob
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// This file is the wire half of the sentinel vocabulary: stable names
+// and an HTTP status mapping for every sentinel, so the network blob
+// service (internal/server) and its remote-store client
+// (internal/client) agree on error identity end-to-end. The name — not
+// the status code — is the primary carrier (the server sends it in a
+// response header); the status mapping exists for interoperability
+// with plain HTTP clients and as the fallback when the header is
+// absent.
+
+// errNames orders the sentinel vocabulary for name and status lookup.
+// Context errors are included because they cross the store boundary
+// with full errors.Is identity, same as the sentinels.
+var errNames = []struct {
+	err    error
+	name   string
+	status int
+}{
+	{ErrNotFound, "notfound", http.StatusNotFound},
+	{ErrAlreadyExists, "exists", http.StatusConflict},
+	{ErrNoSpaceLeft, "nospace", http.StatusInsufficientStorage},
+	{ErrInvalidSize, "badsize", http.StatusBadRequest},
+	{ErrOutOfRange, "outofrange", http.StatusRequestedRangeNotSatisfiable},
+	{ErrClosed, "closed", http.StatusGone},
+	{ErrBusy, "busy", http.StatusLocked},
+	{ErrCrashed, "crashed", http.StatusInternalServerError},
+	{ErrOverloaded, "overloaded", http.StatusTooManyRequests},
+	{ErrUnavailable, "unavailable", http.StatusServiceUnavailable},
+	{ErrBadOption, "badoption", http.StatusBadRequest},
+	{context.Canceled, "canceled", 499}, // client closed request (nginx convention)
+	{context.DeadlineExceeded, "deadline", http.StatusGatewayTimeout},
+}
+
+// byName inverts errNames for Sentinel lookup.
+var byName = func() map[string]error {
+	m := make(map[string]error, len(errNames))
+	for _, e := range errNames {
+		m[e.name] = e.err
+	}
+	return m
+}()
+
+// ErrName returns the stable wire name of the sentinel err wraps
+// ("notfound", "busy", "overloaded", ...), "" for nil, and "other" for
+// an error outside the vocabulary. Dispatch uses errors.Is, so any
+// wrapping added along the chain is transparent.
+func ErrName(err error) string {
+	if err == nil {
+		return ""
+	}
+	for _, e := range errNames {
+		if errors.Is(err, e.err) {
+			return e.name
+		}
+	}
+	return "other"
+}
+
+// Sentinel returns the sentinel named by an ErrName wire name, or nil
+// when the name is empty, "other", or unknown — the caller then falls
+// back to StatusSentinel.
+func Sentinel(name string) error {
+	return byName[name]
+}
+
+// HTTPStatus maps an error to the HTTP status code the network blob
+// service responds with: 200 for nil, the per-sentinel codes above, or
+// 500 for errors outside the vocabulary.
+func HTTPStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	for _, e := range errNames {
+		if errors.Is(err, e.err) {
+			return e.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// StatusSentinel maps an HTTP status code back to its sentinel — the
+// client's fallback when a response carries no error-name header (a
+// proxy in the middle, a non-fragserve endpoint). Statuses without a
+// sentinel of their own (and 500) return nil; the caller keeps the
+// generic error.
+func StatusSentinel(status int) error {
+	if status < 400 {
+		return nil
+	}
+	for _, e := range errNames {
+		if e.status == status && e.status != http.StatusInternalServerError {
+			return e.err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package blob
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestErrNameRoundTrip pins that every sentinel's wire name maps back
+// to the identical sentinel, wrapped or not — the property the network
+// client's error reconstruction rests on.
+func TestErrNameRoundTrip(t *testing.T) {
+	sentinels := []error{
+		ErrNotFound, ErrAlreadyExists, ErrNoSpaceLeft, ErrInvalidSize,
+		ErrOutOfRange, ErrClosed, ErrBusy, ErrCrashed, ErrOverloaded,
+		ErrUnavailable, ErrBadOption, context.Canceled, context.DeadlineExceeded,
+	}
+	for _, want := range sentinels {
+		name := ErrName(want)
+		if name == "" || name == "other" {
+			t.Fatalf("ErrName(%v) = %q, want a vocabulary name", want, name)
+		}
+		got := Sentinel(name)
+		if !errors.Is(got, want) {
+			t.Fatalf("Sentinel(%q) = %v, want %v", name, got, want)
+		}
+		// Wrapping is transparent.
+		wrapped := fmt.Errorf("layer: %w", want)
+		if ErrName(wrapped) != name {
+			t.Fatalf("ErrName(wrapped %v) = %q, want %q", want, ErrName(wrapped), name)
+		}
+	}
+	if ErrName(nil) != "" {
+		t.Fatalf("ErrName(nil) = %q, want empty", ErrName(nil))
+	}
+	if ErrName(errors.New("stray")) != "other" {
+		t.Fatalf("ErrName(stray) = %q, want other", ErrName(errors.New("stray")))
+	}
+	if Sentinel("other") != nil || Sentinel("") != nil || Sentinel("nosuch") != nil {
+		t.Fatal("Sentinel of other/empty/unknown must be nil")
+	}
+}
+
+// TestHTTPStatusMapping pins the status codes the server responds with
+// and the client-side fallback from status back to sentinel.
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{nil, http.StatusOK},
+		{ErrNotFound, http.StatusNotFound},
+		{ErrAlreadyExists, http.StatusConflict},
+		{ErrNoSpaceLeft, http.StatusInsufficientStorage},
+		{ErrInvalidSize, http.StatusBadRequest},
+		{ErrOutOfRange, http.StatusRequestedRangeNotSatisfiable},
+		{ErrClosed, http.StatusGone},
+		{ErrBusy, http.StatusLocked},
+		{ErrCrashed, http.StatusInternalServerError},
+		{ErrOverloaded, http.StatusTooManyRequests},
+		{ErrUnavailable, http.StatusServiceUnavailable},
+		{context.Canceled, 499},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errors.New("stray"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.status {
+			t.Fatalf("HTTPStatus(%v) = %d, want %d", c.err, got, c.status)
+		}
+	}
+	// Status fallback recovers the sentinel for every uniquely mapped
+	// status; 500 and sub-400 recover nothing.
+	for _, c := range cases {
+		if c.err == nil || c.status == http.StatusInternalServerError {
+			continue
+		}
+		got := StatusSentinel(c.status)
+		if got == nil {
+			t.Fatalf("StatusSentinel(%d) = nil, want a sentinel", c.status)
+		}
+		if HTTPStatus(got) != c.status {
+			t.Fatalf("StatusSentinel(%d) = %v which maps to %d", c.status, got, HTTPStatus(got))
+		}
+	}
+	if StatusSentinel(http.StatusOK) != nil || StatusSentinel(http.StatusInternalServerError) != nil {
+		t.Fatal("StatusSentinel of 200/500 must be nil")
+	}
+}

@@ -1,0 +1,12 @@
+package client_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine survives the tests — the
+// client spawns per-host connection goroutines and every conformance
+// subtest stands up a live listener, so a missed Close shows up here.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

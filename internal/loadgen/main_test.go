@@ -1,0 +1,12 @@
+package loadgen_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine survives the tests — the
+// generator spawns hundreds of client goroutines per run, so a missed
+// WaitGroup or unclosed connection pool shows up here.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

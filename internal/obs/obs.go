@@ -34,7 +34,35 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// TimeUnit declares what a registry's latency histograms measure. The
+// tag travels with every Snapshot and PhaseReport so virtual-time sim
+// histograms and wall-clock server histograms can never be silently
+// mixed in one report: the vclock-timed recorders (Wrap,
+// NewCommitObserver, Collector) refuse a wall-unit registry, and the
+// report schema surfaces the unit per phase.
+type TimeUnit string
+
+const (
+	// UnitVirtual marks histograms in vclock.Clock nanoseconds —
+	// deterministic per seed, host-independent.
+	UnitVirtual TimeUnit = "virtual_ns"
+	// UnitWall marks histograms in wall-clock nanoseconds — the network
+	// service's SLO view, not reproducible across hosts.
+	UnitWall TimeUnit = "wall_ns"
+)
+
+// WallNow returns the current wall clock as nanoseconds since the Unix
+// epoch. It is the single sanctioned wall-time source for the network
+// service and its load generator: every wall-clock latency is a
+// difference of two WallNow readings recorded into a UnitWall
+// registry, so the simulation's vclock purity rule stays auditable.
+func WallNow() int64 {
+	//fragvet:ignore vclockpurity the network service measures real wall-clock latency; recorded only into UnitWall registries
+	return time.Now().UnixNano()
+}
 
 // Counter is a monotonically increasing event count. Safe for
 // concurrent use.
@@ -73,19 +101,43 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Collector treat it as "record nothing" at near-zero cost, so
 // instrumented code paths need no build-time switches.
 type Registry struct {
+	unit     TimeUnit
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
-// NewRegistry returns an empty, enabled registry.
+// NewRegistry returns an empty, enabled registry whose histograms
+// record virtual-clock nanoseconds (UnitVirtual).
 func NewRegistry() *Registry {
+	return newRegistry(UnitVirtual)
+}
+
+// NewWallRegistry returns an empty, enabled registry whose histograms
+// record wall-clock nanoseconds (UnitWall) — the network service's SLO
+// registry. The vclock-timed recorders (Wrap, NewCommitObserver)
+// refuse it, so sim latencies can't leak in.
+func NewWallRegistry() *Registry {
+	return newRegistry(UnitWall)
+}
+
+func newRegistry(unit TimeUnit) *Registry {
 	return &Registry{
+		unit:     unit,
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// Unit returns the time unit this registry's histograms record. A nil
+// registry reports UnitVirtual (the disabled default).
+func (r *Registry) Unit() TimeUnit {
+	if r == nil {
+		return UnitVirtual
+	}
+	return r.unit
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -164,6 +216,8 @@ func (r *Registry) Reset() {
 // Snapshot is a point-in-time copy of a registry's metrics, safe to
 // read while recording continues.
 type Snapshot struct {
+	// Unit is the time unit of every histogram in the snapshot.
+	Unit       TimeUnit
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]*HistogramSnapshot
@@ -176,6 +230,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
+		Unit:       r.unit,
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]*HistogramSnapshot, len(r.hists)),

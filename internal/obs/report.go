@@ -10,7 +10,10 @@ import (
 
 // ReportSchema identifies the run-report JSON layout; bump on
 // incompatible change. CI validates emitted reports against it.
-const ReportSchema = "fragbench-report/v1"
+// v2 added the required per-phase "time_unit" tag distinguishing
+// virtual-clock sim histograms from the network service's wall-clock
+// SLO histograms.
+const ReportSchema = "fragbench-report/v2"
 
 // RunReport is the machine-readable record of one fragbench run:
 // the configuration, every experiment's tables (the same numbers the
@@ -129,7 +132,11 @@ func TableFromStats(t *stats.Table) *TableReport {
 // PhaseReport is one experiment arm's metric snapshot: counters,
 // gauges, and latency histograms reduced to their quantiles.
 type PhaseReport struct {
-	Name       string                 `json:"name"`
+	Name string `json:"name"`
+	// TimeUnit is the unit of every histogram in the phase
+	// ("virtual_ns" or "wall_ns") — required by schema v2 so a report
+	// mixing sim and server phases stays unambiguous per phase.
+	TimeUnit   TimeUnit               `json:"time_unit"`
 	Counters   map[string]int64       `json:"counters,omitempty"`
 	Gauges     map[string]float64     `json:"gauges,omitempty"`
 	Histograms map[string]*HistReport `json:"histograms,omitempty"`
@@ -137,9 +144,15 @@ type PhaseReport struct {
 
 // PhaseFromSnapshot reduces a registry snapshot to a phase report.
 // Histograms with zero observations are dropped (a registry handle
-// that never recorded says nothing about the phase).
+// that never recorded says nothing about the phase). A snapshot with
+// no unit (hand-built in tests) reports UnitVirtual, the historical
+// default.
 func PhaseFromSnapshot(name string, snap Snapshot) *PhaseReport {
-	p := &PhaseReport{Name: name}
+	unit := snap.Unit
+	if unit == "" {
+		unit = UnitVirtual
+	}
+	p := &PhaseReport{Name: name, TimeUnit: unit}
 	if len(snap.Counters) > 0 {
 		p.Counters = make(map[string]int64, len(snap.Counters))
 		for k, v := range snap.Counters {
@@ -164,8 +177,9 @@ func PhaseFromSnapshot(name string, snap Snapshot) *PhaseReport {
 	return p
 }
 
-// HistReport is a latency histogram reduced to its headline quantiles,
-// all in virtual nanoseconds.
+// HistReport is a latency histogram reduced to its headline quantiles.
+// The *_ns fields are in the enclosing phase's TimeUnit — virtual ns
+// for sim phases, wall ns for network-service phases.
 type HistReport struct {
 	Count  int64   `json:"count"`
 	Zero   int64   `json:"zero,omitempty"`
@@ -204,12 +218,17 @@ var latencyQuantiles = []struct {
 
 // LatencyTable renders the named histograms of a snapshot as a
 // stats.Table with percentile on the x axis (50/90/99/99.9/100) and
-// virtual milliseconds on the y axis — one series per metric, so a
-// per-layer latency breakdown prints through the same table pipeline
-// every experiment already uses. Histograms with zero observations are
-// skipped; the note records each series' op count.
+// milliseconds on the y axis (labeled virtual or wall per the
+// snapshot's unit) — one series per metric, so a per-layer latency
+// breakdown prints through the same table pipeline every experiment
+// already uses. Histograms with zero observations are skipped; the
+// note records each series' op count.
 func LatencyTable(title string, snap Snapshot, names []string) *stats.Table {
-	t := stats.NewTable(title, "percentile", "virtual ms")
+	ylabel := "virtual ms"
+	if snap.Unit == UnitWall {
+		ylabel = "wall ms"
+	}
+	t := stats.NewTable(title, "percentile", ylabel)
 	t.Decimal = 3
 	for _, name := range names {
 		h, ok := snap.Histograms[name]

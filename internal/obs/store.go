@@ -42,9 +42,21 @@ type Store struct {
 
 // Wrap instruments inner as observation layer `layer`. A nil reg
 // disables recording (spans are still attached to traced ops when a
-// collector is active upstream — they cost only when tracing).
+// collector is active upstream — they cost only when tracing). Wrap
+// measures the virtual clock, so a wall-unit registry is a wiring bug
+// and panics: mixing vclock ns into a wall_ns registry would corrupt
+// the report silently.
 func Wrap(inner blob.Store, layer string, reg *Registry) *Store {
+	mustVirtual(reg, "obs.Wrap")
 	return &Store{inner: inner, layer: layer, reg: reg, clock: inner.Clock()}
+}
+
+// mustVirtual panics when reg records wall time — the guard every
+// vclock-timed recorder calls at construction.
+func mustVirtual(reg *Registry, who string) {
+	if reg.Unit() == UnitWall {
+		panic(who + ": registry records wall_ns but measurements are virtual-clock ns; use a NewRegistry (virtual) registry")
+	}
 }
 
 // Inner returns the wrapped store, so capability probes (the compactor
@@ -308,8 +320,10 @@ type commitObserver struct {
 // "<layer>.commit.queuewait" (per commit: virtual ns spent enqueued
 // before its batch began) and "<layer>.commit.force" (per batch: the
 // one group force's virtual ns), plus "<layer>.commit.batch" (batch
-// sizes). Pass it to the store via blob.WithCommitObserver.
+// sizes). Pass it to the store via blob.WithCommitObserver. The
+// measurements are virtual ns, so a wall-unit registry panics.
 func NewCommitObserver(reg *Registry, layer string) blob.CommitObserver {
+	mustVirtual(reg, "obs.NewCommitObserver")
 	return &commitObserver{
 		wait:  reg.Histogram(layer + ".commit.queuewait"),
 		force: reg.Histogram(layer + ".commit.force"),

@@ -3,7 +3,6 @@ package obs
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"io"
 	"sort"
 	"sync"
@@ -265,7 +264,9 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 // everything.
 type Collector struct {
 	// Registry receives op.<kind> latency histograms and error
-	// counters; nil records none.
+	// counters; nil records none. Must be a virtual-unit registry — the
+	// collector times ops on the virtual clock (FinishOp panics on a
+	// wall-unit registry).
 	Registry *Registry
 	// Tracer retains completed ops; nil traces none.
 	Tracer *Tracer
@@ -305,6 +306,7 @@ func (c *Collector) FinishOp(op *OpTrace, err error) {
 		op.Err = ErrName(err)
 	}
 	if c.Registry != nil {
+		mustVirtual(c.Registry, "obs.Collector")
 		if err != nil {
 			c.Registry.Counter("op." + op.Kind + ".err." + op.Err).Inc()
 		} else {
@@ -326,32 +328,7 @@ func (c *Collector) FinishOp(op *OpTrace, err error) {
 
 // ErrName maps an error onto the short name of the blob sentinel it
 // wraps, for metric labels and trace fields ("notfound", "nospace",
-// "canceled", ...). Unrecognized errors report "other".
-func ErrName(err error) string {
-	switch {
-	case err == nil:
-		return ""
-	case errors.Is(err, blob.ErrNotFound):
-		return "notfound"
-	case errors.Is(err, blob.ErrAlreadyExists):
-		return "exists"
-	case errors.Is(err, blob.ErrNoSpaceLeft):
-		return "nospace"
-	case errors.Is(err, blob.ErrInvalidSize):
-		return "badsize"
-	case errors.Is(err, blob.ErrOutOfRange):
-		return "outofrange"
-	case errors.Is(err, blob.ErrClosed):
-		return "closed"
-	case errors.Is(err, blob.ErrBusy):
-		return "busy"
-	case errors.Is(err, blob.ErrCrashed):
-		return "crashed"
-	case errors.Is(err, context.Canceled):
-		return "canceled"
-	case errors.Is(err, context.DeadlineExceeded):
-		return "deadline"
-	default:
-		return "other"
-	}
-}
+// "canceled", ...). Unrecognized errors report "other". The vocabulary
+// lives in blob.ErrName so metric labels and the network service's
+// wire names can never disagree.
+func ErrName(err error) string { return blob.ErrName(err) }

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/obs"
+)
+
+// admission is the connection-level admission controller: a bounded
+// in-flight limit with a bounded wait queue in front of it, so the
+// service sheds overload with typed errors instead of queueing without
+// bound (the tail-latency failure mode a storage front-end must not
+// have).
+//
+// The policy is two thresholds:
+//
+//   - At most MaxInFlight operations run against the store at once.
+//   - At most MaxQueue further operations wait for a slot. An arrival
+//     beyond in-flight+queued is shed immediately with ErrOverloaded
+//     (HTTP 429): the client should back off and retry.
+//   - A queued operation that waits longer than QueueTimeout is
+//     refused with ErrUnavailable (HTTP 503): the service is saturated
+//     beyond its latency budget, not merely bursty.
+//
+// Caller cancellation passes through: an op whose own context ends
+// while queued reports the context's error, not a shed.
+type admission struct {
+	slots   chan struct{} // capacity MaxInFlight; holding a token = running
+	pending atomic.Int64  // running + queued
+	limit   int64         // MaxInFlight + MaxQueue
+	timeout time.Duration // max queue wait; 0 = wait as long as the caller's ctx allows
+	reg     *obs.Registry // wall registry for shed/timeout counters; may be nil
+}
+
+// newAdmission builds the controller; maxInFlight must be positive.
+func newAdmission(maxInFlight, maxQueue int, timeout time.Duration, reg *obs.Registry) *admission {
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		limit:   int64(maxInFlight + maxQueue),
+		timeout: timeout,
+		reg:     reg,
+	}
+}
+
+// acquire admits one operation, blocking in the queue if the service
+// is at its in-flight limit. On success it returns a release func the
+// caller must run when the operation finishes. On refusal it returns
+// the typed reason: ErrOverloaded (queue full), ErrUnavailable (queue
+// wait exceeded the budget), or the caller context's own error.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	if a.pending.Add(1) > a.limit {
+		a.pending.Add(-1)
+		a.count("admission.shed")
+		return nil, blob.ErrOverloaded
+	}
+	wait := ctx
+	if a.timeout > 0 {
+		var cancel context.CancelFunc
+		wait, cancel = context.WithTimeout(ctx, a.timeout)
+		defer cancel()
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.gauge()
+		return a.release, nil
+	case <-wait.Done():
+		a.pending.Add(-1)
+		if err := ctx.Err(); err != nil {
+			// The caller gave up (cancel or deadline) — report that, not
+			// a service condition.
+			return nil, err
+		}
+		a.count("admission.timeout")
+		return nil, blob.ErrUnavailable
+	}
+}
+
+// release returns one slot and retires the op from the pending count.
+func (a *admission) release() {
+	<-a.slots
+	a.pending.Add(-1)
+	a.gauge()
+}
+
+// count bumps an admission counter when metrics are on.
+func (a *admission) count(name string) {
+	if a.reg != nil {
+		a.reg.Counter(name).Inc()
+	}
+}
+
+// gauge publishes the current in-flight level.
+func (a *admission) gauge() {
+	if a.reg != nil {
+		a.reg.Gauge("admission.inflight").Set(float64(len(a.slots)))
+	}
+}

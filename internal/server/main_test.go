@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine survives the tests —
+// goroutine-per-connection server code is exactly where leaks live
+// (janitors not stopped, handlers blocked on dead clients).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

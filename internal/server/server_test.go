@@ -1,0 +1,447 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/obs"
+	"repro/internal/server/wire"
+	"repro/internal/units"
+	"repro/internal/vclock"
+)
+
+// newTestServer spins a Server over store on a real listener, with
+// cleanup that drains every goroutine (leakcheck enforces it).
+func newTestServer(t *testing.T, store blob.Store, cfg Config) (*Server, *httptest.Server, *http.Client) {
+	t.Helper()
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	t.Cleanup(func() {
+		tr.CloseIdleConnections()
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, client
+}
+
+func dataStore(t *testing.T) blob.Store {
+	t.Helper()
+	s, err := core.NewFileStore(vclock.New(),
+		blob.WithCapacity(128*units.MB), blob.WithDiskMode(disk.DataMode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func doReq(t *testing.T, client *http.Client, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestFrontDoorRoundTrip pins the stateless path: PUT streams through
+// a writer, GET serves the bytes back with size and clock headers,
+// HEAD stats, DELETE removes, and every error is typed by header and
+// status.
+func TestFrontDoorRoundTrip(t *testing.T) {
+	_, ts, client := newTestServer(t, dataStore(t), Config{Registry: obs.NewWallRegistry()})
+	data := make([]byte, 300*units.KB)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+
+	resp := doReq(t, client, "PUT", ts.URL+wire.PathBlobs+"a?mode=create", data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(wire.HeaderClock) == "" {
+		t.Fatal("PUT response missing clock header")
+	}
+
+	resp = doReq(t, client, "GET", ts.URL+wire.PathBlobs+"a", nil)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, data) {
+		t.Fatalf("GET status=%d len=%d, want 200 with %d bytes", resp.StatusCode, len(got), len(data))
+	}
+	if resp.Header.Get(wire.HeaderSize) != strconv.Itoa(len(data)) {
+		t.Fatalf("GET size header = %q", resp.Header.Get(wire.HeaderSize))
+	}
+
+	resp = doReq(t, client, "HEAD", ts.URL+wire.PathBlobs+"a", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(wire.HeaderSize) != strconv.Itoa(len(data)) {
+		t.Fatalf("HEAD status=%d size=%q", resp.StatusCode, resp.Header.Get(wire.HeaderSize))
+	}
+
+	// Typed errors: create-existing is 409/exists, GET missing is
+	// 404/notfound.
+	resp = doReq(t, client, "PUT", ts.URL+wire.PathBlobs+"a?mode=create", data[:1])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(wire.HeaderError) != "exists" {
+		t.Fatalf("create existing: status=%d err=%q", resp.StatusCode, resp.Header.Get(wire.HeaderError))
+	}
+	resp = doReq(t, client, "GET", ts.URL+wire.PathBlobs+"ghost", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(wire.HeaderError) != "notfound" {
+		t.Fatalf("get missing: status=%d err=%q", resp.StatusCode, resp.Header.Get(wire.HeaderError))
+	}
+
+	resp = doReq(t, client, "DELETE", ts.URL+wire.PathBlobs+"a", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	resp = doReq(t, client, "GET", ts.URL+wire.PathBlobs+"a", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d", resp.StatusCode)
+	}
+}
+
+// TestRangeRequests pins ranged GETs riding blob.Reader.ReadAt:
+// correct bytes with 206 + Content-Range, suffix and open-ended forms,
+// and a typed 416 for a range past EOF.
+func TestRangeRequests(t *testing.T) {
+	_, ts, client := newTestServer(t, dataStore(t), Config{})
+	data := make([]byte, 1*units.MB)
+	for i := range data {
+		data[i] = byte(i % 249)
+	}
+	resp := doReq(t, client, "PUT", ts.URL+wire.PathBlobs+"a", data)
+	resp.Body.Close()
+
+	get := func(rng string) (*http.Response, []byte) {
+		req, _ := http.NewRequest("GET", ts.URL+wire.PathBlobs+"a", nil)
+		req.Header.Set("Range", rng)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, body
+	}
+
+	resp, body := get("bytes=1000-1999")
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, data[1000:2000]) {
+		t.Fatalf("mid range: status=%d len=%d", resp.StatusCode, len(body))
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes 1000-1999/%d", len(data)) {
+		t.Fatalf("Content-Range = %q", cr)
+	}
+
+	resp, body = get(fmt.Sprintf("bytes=%d-", len(data)-512))
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, data[len(data)-512:]) {
+		t.Fatalf("open-ended range: status=%d len=%d", resp.StatusCode, len(body))
+	}
+
+	resp, body = get("bytes=-256")
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, data[len(data)-256:]) {
+		t.Fatalf("suffix range: status=%d len=%d", resp.StatusCode, len(body))
+	}
+
+	resp, _ = get(fmt.Sprintf("bytes=%d-", len(data)+10))
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable ||
+		resp.Header.Get(wire.HeaderError) != "outofrange" {
+		t.Fatalf("past-EOF range: status=%d err=%q", resp.StatusCode, resp.Header.Get(wire.HeaderError))
+	}
+
+	// A malformed Range header is ignored: whole object, 200.
+	resp, body = get("bytes=banana")
+	if resp.StatusCode != http.StatusOK || len(body) != len(data) {
+		t.Fatalf("malformed range: status=%d len=%d", resp.StatusCode, len(body))
+	}
+}
+
+// gateStore blocks Open until the gate closes — the deterministic
+// saturation fixture: an admitted op holds its admission slot as long
+// as the test wants.
+type gateStore struct {
+	blob.Store
+	gate chan struct{}
+}
+
+func (g *gateStore) Open(ctx context.Context, key string) (blob.Reader, error) {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.Store.Open(ctx, key)
+}
+
+// TestAdmissionSaturation pins the shed contract exactly: with
+// MaxInFlight=1 and MaxQueue=2, ten concurrent reads against a gated
+// store resolve as 7 immediate 429s (overloaded), 2 queue-timeout 503s
+// (unavailable), and 1 success once the gate opens. The pending
+// counter makes the split deterministic regardless of arrival order.
+func TestAdmissionSaturation(t *testing.T) {
+	inner := dataStore(t)
+	if err := blob.Put(context.Background(), inner, "a", 64*units.KB, make([]byte, 64*units.KB)); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	reg := obs.NewWallRegistry()
+	_, ts, client := newTestServer(t, &gateStore{Store: inner, gate: gate}, Config{
+		MaxInFlight:  1,
+		MaxQueue:     2,
+		QueueTimeout: 200 * time.Millisecond,
+		Registry:     reg,
+	})
+
+	const N = 10
+	type result struct {
+		status int
+		errHdr string
+	}
+	results := make(chan result, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(ts.URL + wire.PathBlobs + "a")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- result{resp.StatusCode, resp.Header.Get(wire.HeaderError)}
+		}()
+	}
+
+	// Release the gate once the queue-timeout refusals have drained:
+	// wait for the two 503s and seven 429s, then open.
+	counts := map[int]int{}
+	hdrs := map[string]int{}
+	for i := 0; i < N-1; i++ {
+		r := <-results
+		counts[r.status]++
+		hdrs[r.errHdr]++
+	}
+	close(gate)
+	r := <-results
+	counts[r.status]++
+	wg.Wait()
+
+	if counts[http.StatusTooManyRequests] != 7 {
+		t.Fatalf("429 count = %d, want 7 (counts: %v)", counts[http.StatusTooManyRequests], counts)
+	}
+	if counts[http.StatusServiceUnavailable] != 2 {
+		t.Fatalf("503 count = %d, want 2 (counts: %v)", counts[http.StatusServiceUnavailable], counts)
+	}
+	if counts[http.StatusOK] != 1 {
+		t.Fatalf("200 count = %d, want 1 (counts: %v)", counts[http.StatusOK], counts)
+	}
+	if hdrs["overloaded"] != 7 || hdrs["unavailable"] != 2 {
+		t.Fatalf("error headers = %v, want 7 overloaded + 2 unavailable", hdrs)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["admission.shed"] != 7 || snap.Counters["admission.timeout"] != 2 {
+		t.Fatalf("admission counters = shed:%d timeout:%d, want 7/2",
+			snap.Counters["admission.shed"], snap.Counters["admission.timeout"])
+	}
+}
+
+// TestRequestDeadline pins the per-request deadline: a request stalled
+// in the store past RequestTimeout fails typed as deadline (504).
+func TestRequestDeadline(t *testing.T) {
+	inner := dataStore(t)
+	if err := blob.Put(context.Background(), inner, "a", 64*units.KB, make([]byte, 64*units.KB)); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	_, ts, client := newTestServer(t, &gateStore{Store: inner, gate: gate}, Config{
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	resp := doReq(t, client, "GET", ts.URL+wire.PathBlobs+"a", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout || resp.Header.Get(wire.HeaderError) != "deadline" {
+		t.Fatalf("stalled GET: status=%d err=%q, want 504 deadline",
+			resp.StatusCode, resp.Header.Get(wire.HeaderError))
+	}
+}
+
+// TestSessionLifecycleAndTTL pins the stateful path: sessions resolve
+// by handle, a reaped session releases its resources (a swept writer
+// frees the key's write lock; a swept reader handle turns 404), and
+// sweep honors last-use stamps.
+func TestSessionLifecycleAndTTL(t *testing.T) {
+	srv, ts, client := newTestServer(t, dataStore(t), Config{SessionTTL: time.Hour})
+	if resp := doReq(t, client, "PUT", ts.URL+wire.PathBlobs+"a", make([]byte, 64*units.KB)); true {
+		resp.Body.Close()
+	}
+
+	// Open a reader session and read through it.
+	resp := doReq(t, client, "POST", ts.URL+wire.PathRead+"a", nil)
+	var open wire.OpenResponse
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if open.Size != 64*units.KB || open.Handle == "" {
+		t.Fatalf("open = %+v", open)
+	}
+	resp = doReq(t, client, "GET", ts.URL+wire.PathReadH+open.Handle+"?off=1024&len=512", nil)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 512 {
+		t.Fatalf("session read: status=%d len=%d", resp.StatusCode, len(body))
+	}
+
+	// Open a writer session: the key is now write-locked (ErrBusy for a
+	// second writer).
+	resp = doReq(t, client, "POST", ts.URL+wire.PathWrite+"a?mode=replace&size=1024", nil)
+	var wopen wire.WriteOpenResponse
+	json.NewDecoder(resp.Body).Decode(&wopen)
+	resp.Body.Close()
+	if wopen.Handle == "" {
+		t.Fatal("no writer handle")
+	}
+	resp = doReq(t, client, "POST", ts.URL+wire.PathWrite+"a?mode=replace&size=1024", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusLocked || resp.Header.Get(wire.HeaderError) != "busy" {
+		t.Fatalf("second writer: status=%d err=%q", resp.StatusCode, resp.Header.Get(wire.HeaderError))
+	}
+
+	// The janitor reaps both after the TTL: simulate the passage of an
+	// hour by sweeping with a synthetic now.
+	if r, w := srv.sessions.counts(); r != 1 || w != 1 {
+		t.Fatalf("live sessions = %d readers, %d writers, want 1/1", r, w)
+	}
+	if n := srv.sessions.sweep(obs.WallNow() + (time.Hour + time.Minute).Nanoseconds()); n != 2 {
+		t.Fatalf("sweep reaped %d, want 2", n)
+	}
+	resp = doReq(t, client, "GET", ts.URL+wire.PathReadH+open.Handle, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("read on reaped session = %d, want 404", resp.StatusCode)
+	}
+	// The swept writer released the key: a new writer session succeeds.
+	resp = doReq(t, client, "POST", ts.URL+wire.PathWrite+"a?mode=replace&size=1024", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("writer after sweep = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsAndReport pins the observability endpoints: /metrics is a
+// wall-unit PhaseReport with serve histograms, /report is a
+// schema-valid RunReport.
+func TestMetricsAndReport(t *testing.T) {
+	_, ts, client := newTestServer(t, dataStore(t), Config{Registry: obs.NewWallRegistry()})
+	resp := doReq(t, client, "PUT", ts.URL+wire.PathBlobs+"a", make([]byte, 32*units.KB))
+	resp.Body.Close()
+	resp = doReq(t, client, "GET", ts.URL+wire.PathBlobs+"a", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp = doReq(t, client, "GET", ts.URL+wire.PathMetrics, nil)
+	var phase obs.PhaseReport
+	if err := json.NewDecoder(resp.Body).Decode(&phase); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if phase.TimeUnit != obs.UnitWall {
+		t.Fatalf("metrics time_unit = %q, want wall_ns", phase.TimeUnit)
+	}
+	if h := phase.Histograms["serve.get"]; h == nil || h.Count < 1 {
+		t.Fatalf("serve.get histogram missing from metrics: %+v", phase.Histograms)
+	}
+	if h := phase.Histograms["serve.put"]; h == nil || h.Count < 1 {
+		t.Fatal("serve.put histogram missing from metrics")
+	}
+
+	resp = doReq(t, client, "GET", ts.URL+wire.PathReport, nil)
+	var report map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if report["schema"] != obs.ReportSchema {
+		t.Fatalf("report schema = %v, want %s", report["schema"], obs.ReportSchema)
+	}
+	exps, _ := report["experiments"].([]any)
+	if len(exps) != 1 {
+		t.Fatalf("report experiments = %d, want 1", len(exps))
+	}
+}
+
+// TestMetadataModePut pins the metadata-only wire form: a PUT with the
+// meta-bytes header writes logical bytes with no payload, and reads
+// come back flagged metadata with an empty body.
+func TestMetadataModePut(t *testing.T) {
+	s, err := core.NewDBStore(vclock.New(),
+		blob.WithCapacity(64*units.MB), blob.WithDiskMode(disk.MetadataMode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, client := newTestServer(t, s, Config{})
+
+	req, _ := http.NewRequest("PUT", ts.URL+wire.PathBlobs+"m", nil)
+	req.Header.Set(wire.HeaderMetaBytes, strconv.FormatInt(512*units.KB, 10))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta PUT = %d", resp.StatusCode)
+	}
+
+	resp = doReq(t, client, "GET", ts.URL+wire.PathBlobs+"m", nil)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(wire.HeaderMeta) != "1" || len(body) != 0 {
+		t.Fatalf("meta GET: status=%d meta=%q len=%d", resp.StatusCode, resp.Header.Get(wire.HeaderMeta), len(body))
+	}
+	if resp.Header.Get(wire.HeaderSize) != strconv.FormatInt(512*units.KB, 10) {
+		t.Fatalf("meta GET size = %q", resp.Header.Get(wire.HeaderSize))
+	}
+}
+
+// TestWallRegistryRequired pins the unit guard at the server boundary.
+func TestWallRegistryRequired(t *testing.T) {
+	_, err := New(dataStore(t), Config{Registry: obs.NewRegistry()})
+	if err == nil {
+		t.Fatal("virtual-unit registry accepted, want ErrBadOption")
+	}
+	srv, err := New(dataStore(t), Config{Registry: obs.NewWallRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+}

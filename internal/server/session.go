@@ -1,0 +1,186 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blob"
+	"repro/internal/obs"
+)
+
+// The session table gives stateful blob handles an identity over a
+// stateless protocol. A remote client that opens a reader must keep
+// the version-pinning contract (reads fail with ErrNotFound after a
+// replace, never serve different bytes), and a remote writer must keep
+// the one-uncommitted-writer-per-key contract (ErrBusy) — both are
+// properties of a live server-side blob.Reader/blob.Writer, not of any
+// per-request re-open. So the server holds the real handle and hands
+// the client an opaque id; every /v1/readh//v1/writeh request resolves
+// the id back to the handle.
+//
+// Handles opened by a request deliberately outlive it (the opening
+// context is detached with context.WithoutCancel at the call site):
+// the session ends when the client closes it, or when the janitor
+// sweeps it after SessionTTL idle wall time — the abandoned-client
+// backstop that keeps a crashed client from pinning a key's write
+// lock forever.
+
+// readerSession is one open reader handle.
+type readerSession struct {
+	id       string
+	r        blob.Reader
+	lastUsed atomic.Int64 // wall ns of last use
+}
+
+// writerSession is one open writer handle.
+type writerSession struct {
+	id       string
+	w        blob.Writer
+	lastUsed atomic.Int64 // wall ns of last use
+}
+
+// sessionTable tracks every live session by id.
+type sessionTable struct {
+	mu      sync.Mutex
+	nextID  atomic.Int64
+	readers map[string]*readerSession
+	writers map[string]*writerSession
+	ttlNs   int64 // idle wall ns before the janitor reaps a session
+}
+
+func newSessionTable(ttlNs int64) *sessionTable {
+	return &sessionTable{
+		readers: make(map[string]*readerSession),
+		writers: make(map[string]*writerSession),
+		ttlNs:   ttlNs,
+	}
+}
+
+// addReader registers r and returns its handle id.
+func (t *sessionTable) addReader(r blob.Reader) string {
+	s := &readerSession{id: "r" + strconv.FormatInt(t.nextID.Add(1), 10), r: r}
+	s.lastUsed.Store(obs.WallNow())
+	t.mu.Lock()
+	t.readers[s.id] = s
+	t.mu.Unlock()
+	return s.id
+}
+
+// addWriter registers w and returns its handle id.
+func (t *sessionTable) addWriter(w blob.Writer) string {
+	s := &writerSession{id: "w" + strconv.FormatInt(t.nextID.Add(1), 10), w: w}
+	s.lastUsed.Store(obs.WallNow())
+	t.mu.Lock()
+	t.writers[s.id] = s
+	t.mu.Unlock()
+	return s.id
+}
+
+// reader resolves a reader handle, stamping its idle clock. An unknown
+// id — never issued, already closed, or reaped — is ErrNotFound.
+func (t *sessionTable) reader(id string) (*readerSession, error) {
+	t.mu.Lock()
+	s := t.readers[id]
+	t.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: reader session %s", blob.ErrNotFound, id)
+	}
+	s.lastUsed.Store(obs.WallNow())
+	return s, nil
+}
+
+// writer resolves a writer handle, stamping its idle clock.
+func (t *sessionTable) writer(id string) (*writerSession, error) {
+	t.mu.Lock()
+	s := t.writers[id]
+	t.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: writer session %s", blob.ErrNotFound, id)
+	}
+	s.lastUsed.Store(obs.WallNow())
+	return s, nil
+}
+
+// closeReader removes and closes a reader session.
+func (t *sessionTable) closeReader(id string) error {
+	t.mu.Lock()
+	s := t.readers[id]
+	delete(t.readers, id)
+	t.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("%w: reader session %s", blob.ErrNotFound, id)
+	}
+	return s.r.Close()
+}
+
+// abortWriter removes a writer session, aborting it unless committed
+// is set (a committed writer is already closed; aborting again is a
+// no-op server-side, but the session must leave the table either way).
+func (t *sessionTable) removeWriter(id string, committed bool) error {
+	t.mu.Lock()
+	s := t.writers[id]
+	delete(t.writers, id)
+	t.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("%w: writer session %s", blob.ErrNotFound, id)
+	}
+	if committed {
+		return nil
+	}
+	return s.w.Abort()
+}
+
+// sweep closes every session idle longer than the TTL as of nowNs,
+// returning how many it reaped. The janitor calls it on a wall
+// ticker; tests call it directly with a synthetic now.
+func (t *sessionTable) sweep(nowNs int64) int {
+	t.mu.Lock()
+	var deadR []*readerSession
+	var deadW []*writerSession
+	for id, s := range t.readers {
+		if nowNs-s.lastUsed.Load() > t.ttlNs {
+			deadR = append(deadR, s)
+			delete(t.readers, id)
+		}
+	}
+	for id, s := range t.writers {
+		if nowNs-s.lastUsed.Load() > t.ttlNs {
+			deadW = append(deadW, s)
+			delete(t.writers, id)
+		}
+	}
+	t.mu.Unlock()
+	for _, s := range deadR {
+		s.r.Close()
+	}
+	for _, s := range deadW {
+		s.w.Abort() // releases the key's write lock; prior version intact
+	}
+	return len(deadR) + len(deadW)
+}
+
+// closeAll force-closes every session (server shutdown).
+func (t *sessionTable) closeAll() {
+	t.mu.Lock()
+	readers := t.readers
+	writers := t.writers
+	t.readers = make(map[string]*readerSession)
+	t.writers = make(map[string]*writerSession)
+	t.mu.Unlock()
+	for _, s := range readers {
+		s.r.Close()
+	}
+	for _, s := range writers {
+		s.w.Abort()
+	}
+}
+
+// counts returns the live session totals (for /v1/stats-adjacent
+// introspection and tests).
+func (t *sessionTable) counts() (readers, writers int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.readers), len(t.writers)
+}

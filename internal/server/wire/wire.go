@@ -1,0 +1,127 @@
+// Package wire defines the HTTP wire contract shared by the network
+// blob service (internal/server) and its remote-store client
+// (internal/client): header names, URL layout, and the JSON bodies of
+// the non-payload endpoints. Keeping it in one place means the two
+// sides cannot drift — both import these constants instead of
+// spelling strings.
+//
+// The protocol is plain HTTP/1.1:
+//
+//	GET    /v1/blobs/{key}          whole object (or Range: bytes=a-b)
+//	HEAD   /v1/blobs/{key}          stat
+//	PUT    /v1/blobs/{key}?mode=m   one-shot streaming put (create|replace)
+//	DELETE /v1/blobs/{key}          delete
+//	GET    /v1/keys                 key listing
+//	GET    /v1/stats                store accounting + virtual clock
+//	GET    /v1/layout               per-object physical runs + tags
+//	POST   /v1/read/{key}           open a pinned reader session
+//	GET    /v1/readh/{h}?off=&len=  ranged read on a session (no params: whole object)
+//	DELETE /v1/readh/{h}            close the reader
+//	POST   /v1/write/{key}?mode=m&size=n   open a writer session
+//	POST   /v1/writeh/{h}           append one chunk (body, or MetaBytes header)
+//	POST   /v1/writeh/{h}/commit    commit
+//	DELETE /v1/writeh/{h}           abort
+//	GET    /metrics                 live wall-clock metrics (PhaseReport JSON)
+//	GET    /report                  full RunReport JSON
+//	GET    /healthz                 liveness
+//
+// Errors travel primarily by name: every failure response carries the
+// sentinel's wire name (blob.ErrName) in HeaderError, and the HTTP
+// status (blob.HTTPStatus) is the fallback for plain HTTP clients and
+// header-stripping proxies. Every response — success or failure —
+// carries the store's virtual clock in HeaderClock, which the client
+// ratchets into its local clock so virtual-time costs survive the
+// network hop.
+package wire
+
+import "repro/internal/extent"
+
+// Header names of the wire contract.
+const (
+	// HeaderSize carries an object's logical size in bytes: the full
+	// object size on GET/HEAD responses (even ranged ones) and the
+	// declared stream size on PUT requests without a usable
+	// Content-Length.
+	HeaderSize = "X-Blob-Size"
+
+	// HeaderError carries the sentinel wire name (blob.ErrName) on every
+	// failure response. The primary error carrier; the HTTP status is
+	// the fallback.
+	HeaderError = "X-Blob-Error"
+
+	// HeaderClock carries the store's virtual clock (ns) at response
+	// time. Clients ratchet it into their local vclock.Clock.
+	HeaderClock = "X-Blob-Clock-Ns"
+
+	// HeaderMeta set to "1" on a read response means the store runs in
+	// metadata-only simulation: the logical bytes exist but no payload
+	// travels (the body is empty and the client returns a nil slice).
+	HeaderMeta = "X-Blob-Meta"
+
+	// HeaderMetaBytes on a PUT or append request declares n logical
+	// bytes with no payload (a metadata-only append: Writer.Append(n,
+	// nil) server-side). Mutually exclusive with a request body.
+	HeaderMetaBytes = "X-Blob-Meta-Bytes"
+)
+
+// Path prefixes of the wire contract (each followed by a key or
+// handle).
+const (
+	PathBlobs  = "/v1/blobs/"
+	PathKeys   = "/v1/keys"
+	PathStats  = "/v1/stats"
+	PathLayout = "/v1/layout"
+	PathRead   = "/v1/read/"
+	PathReadH  = "/v1/readh/"
+	PathWrite  = "/v1/write/"
+	PathWriteH = "/v1/writeh/"
+
+	PathMetrics = "/metrics"
+	PathReport  = "/report"
+	PathHealthz = "/healthz"
+)
+
+// Write modes for the mode query parameter.
+const (
+	ModeCreate  = "create"
+	ModeReplace = "replace"
+)
+
+// StatsResponse is the body of GET /v1/stats: the store's accounting
+// surface plus its identity and virtual clock.
+type StatsResponse struct {
+	Name          string `json:"name"`
+	ObjectCount   int    `json:"object_count"`
+	LiveBytes     int64  `json:"live_bytes"`
+	FreeBytes     int64  `json:"free_bytes"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	ClockNs       int64  `json:"clock_ns"`
+}
+
+// KeysResponse is the body of GET /v1/keys.
+type KeysResponse struct {
+	Keys []string `json:"keys"`
+}
+
+// OpenResponse is the body of POST /v1/read/{key}: a pinned reader
+// session.
+type OpenResponse struct {
+	Handle string `json:"handle"`
+	Size   int64  `json:"size"`
+}
+
+// WriteOpenResponse is the body of POST /v1/write/{key}: a writer
+// session.
+type WriteOpenResponse struct {
+	Handle string `json:"handle"`
+}
+
+// LayoutObject is one object in GET /v1/layout: its physical cluster
+// runs and disk owner tag, the inputs of fragmentation analysis
+// (frag.Source / frag.TagSource) serialized for a remote store.
+type LayoutObject struct {
+	Key   string       `json:"key"`
+	Bytes int64        `json:"bytes"`
+	Runs  []extent.Run `json:"runs"`
+	Tag   uint32       `json:"tag"`
+}

@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Validate a fragbench -report JSON file against the v1 schema.
+"""Validate a fragbench -report JSON file against the v2 schema.
 
 Usage: validate_report.py report.json [expected-experiment-id ...]
 
 Checks the envelope (schema tag, timestamp, experiments array), every
-table (parallel X/Y arrays), and every phase histogram (required
-quantile fields, ordering p50 <= p90 <= p99 <= p999 <= max). When
-experiment ids are given, each must be present, error-free, and carry
-at least one phase with at least one latency histogram — the contract
-the observability wiring promises for instrumented experiments.
+table (parallel X/Y arrays), every phase's required time_unit tag
+(virtual_ns for sim phases, wall_ns for network-service phases), and
+every phase histogram (required quantile fields, ordering
+p50 <= p90 <= p99 <= p999 <= max). When experiment ids are given, each
+must be present, error-free, and carry at least one phase with at
+least one latency histogram — the contract the observability wiring
+promises for instrumented experiments.
 """
 import json
 import sys
 
 HIST_FIELDS = ("count", "mean_ns", "min_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns")
+TIME_UNITS = ("virtual_ns", "wall_ns")
+SCHEMA = "fragbench-report/v2"
 
 
 def fail(msg):
@@ -51,8 +55,8 @@ def main():
     with open(path) as f:
         doc = json.load(f)
 
-    if doc.get("schema") != "fragbench-report/v1":
-        fail(f"schema = {doc.get('schema')!r}, want 'fragbench-report/v1'")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema = {doc.get('schema')!r}, want {SCHEMA!r}")
     if not doc.get("created_at"):
         fail("created_at missing")
     exps = doc.get("experiments")
@@ -69,6 +73,9 @@ def main():
         for p in e.get("phases") or []:
             if not p.get("name"):
                 fail(f"{e['id']}: phase without name")
+            if p.get("time_unit") not in TIME_UNITS:
+                fail(f"{e['id']}/{p['name']}: time_unit = {p.get('time_unit')!r}, "
+                     f"want one of {TIME_UNITS}")
             for name, h in (p.get("histograms") or {}).items():
                 check_hist(f"{e['id']}/{p['name']}/{name}", h)
 
